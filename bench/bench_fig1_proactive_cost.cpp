@@ -1,0 +1,139 @@
+// Figure 1: the cost of proactive monitoring on a 100 Mb/s network.
+//
+// Response (error-resolution) time vs cluster size for bandwidth budgets of
+// 5 / 10 / 15 / 25 %, the maximum supportable cluster per deadline, the
+// paper's stated anchor ("ninety hosts ... less than 1 second with only
+// 10 %"), and a packet-level cross-check of the closed form against the
+// real daemons running on the simulated medium.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "cost/cost_model.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace drs;
+using namespace drs::util::literals;
+
+const double kBudgets[] = {0.05, 0.10, 0.15, 0.25};
+
+void print_response_time_curves(bool preamble) {
+  cost::CostModel model;
+  model.frame.count_preamble_and_ifg = preamble;
+  std::printf("=== Figure 1: response time (s) vs nodes, 100 Mb/s, %s ===\n",
+              preamble ? "84-byte frames (preamble+IFG counted)"
+                       : "64-byte minimum frames (paper anchor)");
+  util::Table table({"N", "5% budget", "10% budget", "15% budget", "25% budget"});
+  for (std::int64_t n : {2, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100, 110, 120}) {
+    std::vector<std::string> row{std::to_string(n)};
+    for (double budget : kBudgets) {
+      row.push_back(util::format_double(model.response_time_seconds(n, budget), 4));
+    }
+    table.add_row(std::move(row));
+  }
+  util::export_table_csv(preamble ? "fig1_response_time_84B"
+                                  : "fig1_response_time_64B",
+                         table);
+  std::printf("%s\n", table.to_text().c_str());
+}
+
+void print_max_nodes() {
+  cost::CostModel model;
+  std::printf("=== Max cluster size for an error-resolution deadline ===\n");
+  util::Table table({"deadline (s)", "5% budget", "10% budget", "15% budget",
+                     "25% budget"});
+  for (double deadline : {0.1, 0.25, 0.5, 1.0, 2.0, 5.0}) {
+    std::vector<std::string> row{util::format_double(deadline, 2)};
+    for (double budget : kBudgets) {
+      row.push_back(std::to_string(model.max_nodes(budget, deadline)));
+    }
+    table.add_row(std::move(row));
+  }
+  util::export_table_csv("fig1_max_nodes", table);
+  std::printf("%s\n", table.to_text().c_str());
+}
+
+void print_anchor() {
+  cost::CostModel minimum;
+  cost::CostModel full;
+  full.frame.count_preamble_and_ifg = true;
+  std::printf("=== Paper anchor: 90 hosts at 10%% budget ===\n");
+  std::printf("  64-byte frames: %.6f s (< 1 s: %s)\n",
+              minimum.response_time_seconds(90, 0.10),
+              minimum.response_time_seconds(90, 0.10) < 1.0 ? "yes" : "NO");
+  std::printf("  84-byte frames: %.6f s\n\n", full.response_time_seconds(90, 0.10));
+}
+
+void print_measured_cross_check() {
+  std::printf("=== Packet-level cross-check: closed form vs live daemons ===\n");
+  util::Table table({"N", "interval (ms)", "predicted util", "measured net-A",
+                     "measured net-B", "probe failures"});
+  cost::CostModel model;
+  for (std::int64_t n : {4, 8, 16, 24}) {
+    const util::Duration interval = 100_ms;
+    const cost::MeasuredCycle measured = cost::measure_cycle(n, interval, 5, model);
+    table.add_row({std::to_string(n), "100",
+                   util::format_double(model.utilization(n, interval), 6),
+                   util::format_double(measured.utilization_network_a, 6),
+                   util::format_double(measured.utilization_network_b, 6),
+                   std::to_string(measured.probes_failed)});
+  }
+  util::export_table_csv("fig1_measured", table);
+  std::printf("%s\n", table.to_text().c_str());
+}
+
+void print_switch_extension() {
+  std::printf("=== Extension: the paper's hubs vs a modern switched fabric ===\n");
+  std::printf("(hub: 2N(N-1) frames share one medium, O(N^2); switch: 2(N-1)\n"
+              " frames per full-duplex port, O(N))\n");
+  cost::CostModel hub;
+  cost::CostModel switched;
+  switched.medium = net::MediumKind::kSwitch;
+  util::Table table({"N", "hub response @10% (s)", "switch response @10% (s)",
+                     "speedup"});
+  for (std::int64_t n : {10, 30, 60, 90, 120, 240}) {
+    const double t_hub = hub.response_time_seconds(n, 0.10);
+    const double t_switch = switched.response_time_seconds(n, 0.10);
+    table.add_row({std::to_string(n), util::format_double(t_hub, 5),
+                   util::format_double(t_switch, 6),
+                   util::format_double(t_hub / t_switch, 1) + "x"});
+  }
+  util::export_table_csv("fig1_switch_extension", table);
+  std::printf("%s", table.to_text().c_str());
+  std::printf("max nodes at (10%%, 1 s): hub %lld vs switch %lld\n\n",
+              static_cast<long long>(hub.max_nodes(0.10, 1.0)),
+              static_cast<long long>(switched.max_nodes(0.10, 1.0)));
+}
+
+void BM_ResponseTimeClosedForm(benchmark::State& state) {
+  cost::CostModel model;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.response_time_seconds(state.range(0), 0.10));
+  }
+}
+BENCHMARK(BM_ResponseTimeClosedForm)->Arg(90);
+
+void BM_MeasuredCycle(benchmark::State& state) {
+  cost::CostModel model;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cost::measure_cycle(state.range(0), 100_ms, 2, model));
+  }
+}
+BENCHMARK(BM_MeasuredCycle)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_response_time_curves(/*preamble=*/false);
+  print_response_time_curves(/*preamble=*/true);
+  print_max_nodes();
+  print_anchor();
+  print_measured_cross_check();
+  print_switch_extension();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

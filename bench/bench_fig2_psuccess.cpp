@@ -1,0 +1,165 @@
+// Figure 2 + Equation 1: P[Success] vs cluster size N for f = 2..10 failed
+// components, and the 0.99 crossovers the paper quotes (18 / 32 / 45 for
+// f = 2 / 3 / 4).
+//
+// Prints the full series (the exact closed form — the paper's Figure 2 is a
+// plot of this table), then runs google-benchmark kernels over the hot
+// analytic paths.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "analytic/enumerate.hpp"
+#include "analytic/survivability.hpp"
+#include "montecarlo/estimator.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace drs;
+
+void print_figure2() {
+  std::printf("=== Figure 2: P[Success](N, f) — Equation 1, exact ===\n");
+  std::vector<std::string> headers{"N"};
+  for (int f = 2; f <= 10; ++f) headers.push_back("f=" + std::to_string(f));
+  util::Table table(headers);
+  for (std::int64_t n = 2; n <= 64; ++n) {
+    std::vector<std::string> row{std::to_string(n)};
+    for (std::int64_t f = 2; f <= 10; ++f) {
+      if (f > analytic::component_count(n)) {
+        row.push_back("-");
+      } else {
+        row.push_back(util::format_double(analytic::p_success(n, f), 4));
+      }
+    }
+    table.add_row(std::move(row));
+  }
+  util::export_table_csv("fig2_psuccess", table);
+  std::printf("%s\n", table.to_text().c_str());
+}
+
+void print_crossovers() {
+  std::printf("=== P[Success] >= 0.99 crossovers (paper: 18 / 32 / 45 for f = 2 / 3 / 4) ===\n");
+  util::Table table({"f", "N at P>=0.99", "P at crossover", "P one below", "paper"});
+  const char* paper[] = {"18", "32", "45", "-", "-", "-", "-", "-", "-"};
+  for (std::int64_t f = 2; f <= 10; ++f) {
+    const std::int64_t n = analytic::threshold_nodes(f, 0.99);
+    table.add_row({std::to_string(f), std::to_string(n),
+                   util::format_double(analytic::p_success(n, f), 6),
+                   util::format_double(analytic::p_success(n - 1, f), 6),
+                   paper[f - 2]});
+  }
+  util::export_table_csv("fig2_crossovers", table);
+  std::printf("%s\n", table.to_text().c_str());
+}
+
+void print_limit_behaviour() {
+  std::printf("=== lim N->inf P[Success] = 1 (fixed f) ===\n");
+  util::Table table({"f", "N=64", "N=128", "N=256", "N=1024"});
+  for (std::int64_t f : {2, 4, 6, 8, 10}) {
+    table.add_row({std::to_string(f),
+                   util::format_double(analytic::p_success(64, f), 6),
+                   util::format_double(analytic::p_success(128, f), 6),
+                   util::format_double(analytic::p_success(256, f), 6),
+                   util::format_double(analytic::p_success(1024, f), 6)});
+  }
+  util::export_table_csv("fig2_limits", table);
+  std::printf("%s\n", table.to_text().c_str());
+}
+
+void print_figure2_simulated() {
+  // The paper's Figure 2 is captioned "DRS Simulation": the plotted curves
+  // come from the Monte-Carlo runs overlaid on Equation 1. Reproduce that
+  // overlay for a representative f at the paper's 1,000-iteration setting.
+  std::printf("=== Figure 2 overlay: simulation (1,000 iterations) vs Equation 1 ===\n");
+  util::Table table({"N", "equation (f=3)", "simulated (f=3)", "|diff|"});
+  mc::EstimateOptions options;
+  options.iterations = 1000;
+  options.seed = 0xF16;
+  for (std::int64_t n = 4; n <= 64; n += 4) {
+    const double exact = analytic::p_success(n, 3);
+    const double simulated = mc::estimate_p_success(n, 3, options).p;
+    table.add_row({std::to_string(n), util::format_double(exact, 4),
+                   util::format_double(simulated, 4),
+                   util::format_double(std::abs(exact - simulated), 4)});
+  }
+  util::export_table_csv("fig2_simulated_overlay", table);
+  std::printf("%s\n", table.to_text().c_str());
+}
+
+void print_unconditional() {
+  std::printf("=== Unconditional availability (the paper's q framing) ===\n");
+  std::printf("(components independently failed with probability q; Equation 1\n"
+              " mixed over the binomial failure count)\n");
+  util::Table table({"q", "N=4", "N=8", "N=16", "N=32", "N=64"});
+  for (double q : {0.0001, 0.001, 0.005, 0.01, 0.05, 0.1}) {
+    std::vector<std::string> row{util::format_double(q, 4)};
+    for (std::int64_t n : {4, 8, 16, 32, 64}) {
+      row.push_back(util::format_double(analytic::p_success_unconditional(n, q), 7));
+    }
+    table.add_row(std::move(row));
+  }
+  util::export_table_csv("fig2_unconditional_q", table);
+  std::printf("%s\n", table.to_text().c_str());
+}
+
+void print_all_pairs_extension() {
+  std::printf("=== Extension: pair vs system-wide (all live pairs) criterion ===\n");
+  std::printf("(exact by enumeration for N=6; the criteria are incomparable —\n"
+              " all-pairs excludes fully dead hosts, see EXPERIMENTS.md)\n");
+  util::Table table({"f", "pair P[S]", "all-live-pairs P[S]"});
+  for (std::int64_t f = 0; f <= 8; ++f) {
+    table.add_row({std::to_string(f),
+                   util::format_double(analytic::p_success(6, f), 5),
+                   util::format_double(analytic::p_all_pairs_success(6, f), 5)});
+  }
+  util::export_table_csv("fig2_all_pairs", table);
+  std::printf("%s\n", table.to_text().c_str());
+}
+
+void BM_Equation1(benchmark::State& state) {
+  const std::int64_t f = state.range(0);
+  std::int64_t n = 2 + f;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analytic::p_success(n, f));
+    if (++n > 64) n = 2 + f;
+  }
+}
+BENCHMARK(BM_Equation1)->Arg(2)->Arg(6)->Arg(10);
+
+void BM_ThresholdSearch(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analytic::threshold_nodes(state.range(0), 0.99));
+  }
+}
+BENCHMARK(BM_ThresholdSearch)->Arg(2)->Arg(4);
+
+void BM_ExhaustiveEnumeration(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        analytic::enumerate_success_count(state.range(0), 3));
+  }
+}
+BENCHMARK(BM_ExhaustiveEnumeration)->Arg(4)->Arg(6)->Arg(8);
+
+void BM_Binomial(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analytic::binomial(130, state.range(0)));
+  }
+}
+BENCHMARK(BM_Binomial)->Arg(10)->Arg(65);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figure2();
+  print_figure2_simulated();
+  print_crossovers();
+  print_limit_behaviour();
+  print_unconditional();
+  print_all_pairs_extension();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Figure 3: convergence of the Monte-Carlo simulation to Equation 1.
+//
+// For each f = 2..10 and iteration budget 10 .. 100,000 (the paper's log10
+// x-axis), the mean absolute deviation between the simulated P̂[Success] and
+// the closed form, averaged over f < N < 64. The paper's observations to
+// reproduce: monotone convergence towards zero, already small at 1,000
+// iterations for every f.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+
+#include "montecarlo/component_model.hpp"
+#include "montecarlo/convergence.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace drs;
+
+void print_figure3() {
+  mc::ConvergenceOptions options;  // paper defaults: f=2..10, 10^1..10^5
+  const auto points = mc::run_convergence(options);
+
+  std::printf(
+      "=== Figure 3: mean |simulated - Equation 1| over f < N < 64 ===\n");
+  std::vector<std::string> headers{"iterations"};
+  for (std::int64_t f : options.failure_counts) {
+    headers.push_back("f=" + std::to_string(f));
+  }
+  util::Table table(headers);
+  for (std::size_t i = 0; i < options.iteration_counts.size(); ++i) {
+    std::vector<std::string> row{
+        std::to_string(options.iteration_counts[i])};
+    for (std::size_t fi = 0; fi < options.failure_counts.size(); ++fi) {
+      const auto& point = points[fi * options.iteration_counts.size() + i];
+      row.push_back(util::format_double(point.mean_abs_deviation, 5));
+    }
+    table.add_row(std::move(row));
+  }
+  util::export_table_csv("fig3_convergence", table);
+  std::printf("%s\n", table.to_text().c_str());
+
+  // The paper's headline observation, stated explicitly.
+  double worst_at_1000 = 0.0;
+  for (const auto& point : points) {
+    if (point.iterations == 1000) {
+      worst_at_1000 = std::max(worst_at_1000, point.mean_abs_deviation);
+    }
+  }
+  std::printf("worst MAD at 1,000 iterations across f=2..10: %s "
+              "(paper: \"less than [small] for each of the fixed f values\")\n\n",
+              util::format_double(worst_at_1000, 5).c_str());
+}
+
+void BM_McTrial(benchmark::State& state) {
+  util::Rng rng(1);
+  const std::int64_t nodes = state.range(0);
+  const std::int64_t failures = state.range(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mc::trial_pair_connected(nodes, failures, rng));
+  }
+}
+BENCHMARK(BM_McTrial)->Args({8, 3})->Args({32, 5})->Args({63, 10});
+
+void BM_Estimate1000(benchmark::State& state) {
+  mc::EstimateOptions options;
+  options.iterations = 1000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mc::estimate_p_success(state.range(0), 4, options));
+  }
+}
+BENCHMARK(BM_Estimate1000)->Arg(16)->Arg(63);
+
+void BM_ConvergenceCell(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mc::convergence_point(3, 1000, 64, 7, 1));
+  }
+}
+BENCHMARK(BM_ConvergenceCell);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figure3();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

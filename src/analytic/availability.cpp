@@ -1,0 +1,23 @@
+#include "analytic/availability.hpp"
+
+#include "analytic/survivability.hpp"
+
+namespace drs::analytic {
+
+double pair_availability(std::int64_t nodes, const ComponentReliability& reliability) {
+  return p_success_unconditional(nodes, reliability.steady_state_q());
+}
+
+util::Duration expected_annual_pair_downtime(std::int64_t nodes,
+                                             const ComponentReliability& reliability) {
+  const double unavailable = 1.0 - pair_availability(nodes, reliability);
+  return util::Duration::from_seconds(unavailable * 365.0 * 24 * 3600);
+}
+
+double single_network_pair_availability(const ComponentReliability& reliability) {
+  const double up = 1.0 - reliability.steady_state_q();
+  // Two endpoint NICs and the shared backplane in series.
+  return up * up * up;
+}
+
+}  // namespace drs::analytic

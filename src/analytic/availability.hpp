@@ -1,0 +1,45 @@
+// Time-domain availability: putting the clock back into Equation 1.
+//
+// The paper's model is conditional ("given f failures, right now"). An
+// operator plans with rates: each component alternates exponentially
+// distributed up-times (mean MTBF) and repair times (mean MTTR). In steady
+// state a component is down with probability q = MTTR / (MTBF + MTTR),
+// independently per component — exactly the Bernoulli mixture that
+// p_success_unconditional() evaluates. These helpers expose that bridge and
+// the derived operator-facing numbers (expected annual downtime). The
+// renewal-process Monte-Carlo in drs::mc::simulate_time_availability
+// validates the stationarity argument.
+#pragma once
+
+#include <cstdint>
+
+#include "util/time.hpp"
+
+namespace drs::analytic {
+
+struct ComponentReliability {
+  /// Mean time between failures (mean up-time), per component.
+  double mtbf_seconds = 30.0 * 24 * 3600;  // 30 days
+  /// Mean time to repair, per component.
+  double mttr_seconds = 4.0 * 3600;  // 4 hours
+
+  /// Steady-state per-component unavailability q = MTTR / (MTBF + MTTR).
+  double steady_state_q() const {
+    return mttr_seconds / (mtbf_seconds + mttr_seconds);
+  }
+};
+
+/// Long-run fraction of time a designated server pair can communicate under
+/// DRS: p_success_unconditional(N, q) at the steady-state q.
+double pair_availability(std::int64_t nodes, const ComponentReliability& reliability);
+
+/// Expected pair-communication downtime over one year of operation.
+util::Duration expected_annual_pair_downtime(std::int64_t nodes,
+                                             const ComponentReliability& reliability);
+
+/// The same availability for a bare single-network system (one NIC per node,
+/// one backplane, no DRS): both endpoints' NICs and the single backplane
+/// must be up. The baseline the paper's redundancy argument is against.
+double single_network_pair_availability(const ComponentReliability& reliability);
+
+}  // namespace drs::analytic

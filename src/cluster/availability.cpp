@@ -1,0 +1,57 @@
+#include "cluster/availability.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace drs::cluster {
+
+void AvailabilityTracker::add_sample(util::SimTime at, bool ok) {
+  ++samples_;
+  if (ok) {
+    if (in_outage_) {
+      outages_.push_back(OutageInterval{outage_begin_, at});
+      in_outage_ = false;
+    }
+    return;
+  }
+  ++failures_;
+  if (!in_outage_) {
+    in_outage_ = true;
+    outage_begin_ = at;
+  }
+}
+
+double AvailabilityTracker::availability() const {
+  if (samples_ == 0) return 1.0;
+  return static_cast<double>(samples_ - failures_) / static_cast<double>(samples_);
+}
+
+double AvailabilityTracker::nines() const {
+  const double a = availability();
+  if (a >= 1.0) return 9.0;
+  return std::min(9.0, -std::log10(1.0 - a));
+}
+
+util::Duration AvailabilityTracker::longest_outage() const {
+  util::Duration longest = util::Duration::zero();
+  for (const auto& outage : outages_) longest = std::max(longest, outage.length());
+  return longest;
+}
+
+util::Duration AvailabilityTracker::total_outage() const {
+  util::Duration total = util::Duration::zero();
+  for (const auto& outage : outages_) total += outage.length();
+  return total;
+}
+
+std::string AvailabilityTracker::summary() const {
+  std::ostringstream out;
+  out << "availability=" << availability() << " (" << nines() << " nines), "
+      << outages_.size() << " outages, longest "
+      << util::to_string(longest_outage()) << ", total "
+      << util::to_string(total_outage());
+  return out.str();
+}
+
+}  // namespace drs::cluster

@@ -1,0 +1,119 @@
+#include "cluster/scenario.hpp"
+
+#include <memory>
+#include <sstream>
+
+#include "core/system.hpp"
+#include "net/failure.hpp"
+#include "proto/icmp.hpp"
+#include "reactive/ospf_lite.hpp"
+#include "reactive/rip_lite.hpp"
+
+namespace drs::cluster {
+
+std::string StudyResult::summary() const {
+  std::ostringstream out;
+  out << reactive::to_string(protocol) << ": requests=" << workload.requests_sent
+      << " success=" << workload.success_rate() << " "
+      << availability.summary() << " protocol-msgs=" << protocol_messages;
+  return out.str();
+}
+
+StudyResult run_study(const StudyConfig& config) {
+  sim::Simulator simulator;
+  net::ClusterNetwork network(simulator,
+                              {.node_count = config.node_count, .backplane = {}});
+
+  // Protocol under test. ICMP echo responders are needed for DRS probing
+  // only, but installing them everywhere keeps the stacks comparable.
+  std::unique_ptr<core::DrsSystem> drs;
+  std::unique_ptr<reactive::RipSystem> rip;
+  std::unique_ptr<reactive::OspfSystem> ospf;
+  std::vector<std::unique_ptr<proto::IcmpService>> icmp_services;
+  if (config.protocol == reactive::ProtocolKind::kDrs) {
+    drs = std::make_unique<core::DrsSystem>(network, config.drs);
+    drs->start();
+  } else {
+    if (config.protocol == reactive::ProtocolKind::kRip) {
+      rip = std::make_unique<reactive::RipSystem>(network, config.rip);
+      rip->start();
+    } else if (config.protocol == reactive::ProtocolKind::kOspf) {
+      ospf = std::make_unique<reactive::OspfSystem>(network, config.ospf);
+      ospf->start();
+    }
+    for (net::NodeId i = 0; i < config.node_count; ++i) {
+      icmp_services.push_back(
+          std::make_unique<proto::IcmpService>(network.host(i)));
+    }
+  }
+
+  StudyResult result;
+  result.protocol = config.protocol;
+
+  RequestReplyWorkload workload(network, config.workload);
+  workload.set_completion_hook(
+      [&result, &simulator](bool ok, net::NodeId, net::NodeId) {
+        result.availability.add_sample(simulator.now(), ok);
+      });
+
+  // Generate the trace (bounded to this cluster's node count) and schedule
+  // its network events; "other" failures only contribute to the statistics.
+  TraceConfig trace_config = config.trace;
+  trace_config.node_count = config.node_count;
+  const std::vector<TraceEvent> trace = generate_trace(trace_config);
+  result.trace_stats = summarize(trace);
+
+  net::FailureInjector injector(network);
+  for (const TraceEvent& event : trace) {
+    const util::SimTime at = event.at + config.warmup;
+    net::ComponentIndex component = 0;
+    switch (event.failure_class) {
+      case FailureClass::kNic:
+        component = net::ClusterNetwork::nic_component(event.node, event.network);
+        break;
+      case FailureClass::kBackplane:
+        component = network.backplane_component(event.network);
+        break;
+      case FailureClass::kOther:
+        continue;  // not a network component
+    }
+    injector.schedule_outage(at, component, event.repair_time);
+  }
+
+  workload.start();
+  simulator.run_for(config.warmup + trace_config.horizon +
+                    util::Duration::seconds(1));
+  workload.stop();
+
+  result.workload = workload.stats();
+  if (drs) {
+    result.protocol_messages =
+        drs->total_probes_sent() + drs->total_control_messages();
+    drs->stop();
+  } else if (rip) {
+    for (net::NodeId i = 0; i < config.node_count; ++i) {
+      result.protocol_messages += rip->daemon(i).metrics().advertisements_sent;
+    }
+    rip->stop();
+  } else if (ospf) {
+    for (net::NodeId i = 0; i < config.node_count; ++i) {
+      const auto& m = ospf->daemon(i).metrics();
+      result.protocol_messages += m.hellos_sent + m.lsas_originated + m.lsas_flooded;
+    }
+    ospf->stop();
+  }
+  return result;
+}
+
+std::vector<StudyResult> run_comparative_study(StudyConfig config) {
+  std::vector<StudyResult> results;
+  for (auto protocol : {reactive::ProtocolKind::kDrs, reactive::ProtocolKind::kRip,
+                        reactive::ProtocolKind::kOspf,
+                        reactive::ProtocolKind::kStatic}) {
+    config.protocol = protocol;
+    results.push_back(run_study(config));
+  }
+  return results;
+}
+
+}  // namespace drs::cluster

@@ -1,0 +1,53 @@
+// Deployment scenarios: the MCI-WorldCom-style availability study.
+//
+// One study run = one cluster (8–12 servers, dual backplanes), a synthetic
+// failure trace (network events injected into the simulation; "other"
+// hardware events recorded only), the request/reply workload, and a chosen
+// routing protocol. Comparing the same trace under DRS / RIP-lite / static
+// routing quantifies what the protocol buys — the paper's motivating
+// argument turned into a number.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/availability.hpp"
+#include "cluster/failure_trace.hpp"
+#include "cluster/workload.hpp"
+#include "core/config.hpp"
+#include "reactive/comparison.hpp"
+
+namespace drs::cluster {
+
+struct StudyConfig {
+  std::uint16_t node_count = 10;
+  reactive::ProtocolKind protocol = reactive::ProtocolKind::kDrs;
+  core::DrsConfig drs;
+  reactive::RipConfig rip;
+  reactive::OspfConfig ospf;
+  TraceConfig trace;
+  WorkloadConfig workload;
+  /// Warmup before the trace starts playing.
+  util::Duration warmup = util::Duration::seconds(2);
+};
+
+struct StudyResult {
+  reactive::ProtocolKind protocol = reactive::ProtocolKind::kDrs;
+  TraceStats trace_stats;
+  RequestReplyWorkload::Stats workload;
+  AvailabilityTracker availability;  // one sample per request completion
+  std::uint64_t protocol_messages = 0;
+
+  std::string summary() const;
+};
+
+/// Runs one cluster study; the trace's network events are injected at their
+/// trace times (offset by warmup) and repaired after their repair_time.
+StudyResult run_study(const StudyConfig& config);
+
+/// Runs the same trace under every protocol (same seed => identical failure
+/// schedule) and returns the results in {DRS, RIP, OSPF, static} order.
+std::vector<StudyResult> run_comparative_study(StudyConfig config);
+
+}  // namespace drs::cluster

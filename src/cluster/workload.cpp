@@ -1,0 +1,121 @@
+#include "cluster/workload.hpp"
+
+#include <unordered_map>
+
+namespace drs::cluster {
+
+namespace {
+constexpr std::uint16_t kClientPort = 7001;
+
+struct RequestTag {
+  std::uint64_t id = 0;
+};
+}  // namespace
+
+struct RequestReplyWorkload::ClientState {
+  net::NodeId node = 0;
+  net::NodeId next_peer = 0;
+  std::unique_ptr<sim::PeriodicTimer> timer;
+  struct Pending {
+    net::NodeId server = 0;
+    util::SimTime sent;
+    sim::EventHandle timeout;
+  };
+  std::unordered_map<std::uint64_t, Pending> pending;
+};
+
+RequestReplyWorkload::RequestReplyWorkload(net::ClusterNetwork& network,
+                                           WorkloadConfig config)
+    : network_(network), config_(config) {
+  const std::uint16_t n = network_.node_count();
+  for (net::NodeId i = 0; i < n; ++i) {
+    udp_.push_back(std::make_unique<proto::UdpService>(network_.host(i)));
+  }
+  for (net::NodeId i = 0; i < n; ++i) {
+    // Server side: echo the request id back in a reply datagram.
+    proto::UdpService& service = *udp_[i];
+    service.open(config_.server_port, [this, i](const proto::UdpDatagram& request) {
+      const auto* tag = std::any_cast<RequestTag>(request.message);
+      if (tag == nullptr) return;
+      udp_[i]->send(request.src, request.src_port, config_.server_port,
+                    config_.reply_bytes, RequestTag{tag->id});
+    });
+
+    // Client side: accept replies, match against pending requests.
+    auto client = std::make_unique<ClientState>();
+    client->node = i;
+    client->next_peer = static_cast<net::NodeId>((i + 1) % n);
+    ClientState* client_ptr = client.get();
+    service.open(kClientPort, [this, client_ptr](const proto::UdpDatagram& reply) {
+      const auto* tag = std::any_cast<RequestTag>(reply.message);
+      if (tag == nullptr) return;
+      auto it = client_ptr->pending.find(tag->id);
+      if (it == client_ptr->pending.end()) return;  // reply after timeout
+      it->second.timeout.cancel();
+      ++stats_.replies_received;
+      stats_.latency_seconds.add(
+          (network_.simulator().now() - it->second.sent).to_seconds());
+      if (hook_) hook_(true, client_ptr->node, it->second.server);
+      client_ptr->pending.erase(it);
+    });
+
+    client->timer = std::make_unique<sim::PeriodicTimer>(
+        network_.simulator(), config_.request_interval,
+        [this, client_ptr] { send_request(*client_ptr); });
+    clients_.push_back(std::move(client));
+  }
+}
+
+RequestReplyWorkload::~RequestReplyWorkload() {
+  stop();
+  for (auto& client : clients_) {
+    for (auto& [id, pending] : client->pending) pending.timeout.cancel();
+    client->pending.clear();
+  }
+}
+
+void RequestReplyWorkload::start() {
+  // Stagger client start offsets so N clients do not fire in lockstep.
+  for (std::size_t i = 0; i < clients_.size(); ++i) {
+    clients_[i]->timer->start(util::Duration::nanos(
+        config_.request_interval.ns() * static_cast<std::int64_t>(i) /
+        static_cast<std::int64_t>(clients_.size())));
+  }
+}
+
+void RequestReplyWorkload::stop() {
+  // Stop issuing new requests; in-flight requests keep running so their
+  // replies (or timeouts) are still accounted — run the simulation for one
+  // reply_timeout after stop() to drain them.
+  for (auto& client : clients_) client->timer->stop();
+}
+
+void RequestReplyWorkload::send_request(ClientState& client) {
+  // Round-robin over peers, skipping self.
+  net::NodeId peer = client.next_peer;
+  if (peer == client.node) {
+    peer = static_cast<net::NodeId>((peer + 1) % network_.node_count());
+  }
+  client.next_peer = static_cast<net::NodeId>((peer + 1) % network_.node_count());
+
+  const std::uint64_t id = next_request_id_++;
+  ++stats_.requests_sent;
+  ClientState::Pending pending;
+  pending.server = peer;
+  pending.sent = network_.simulator().now();
+  pending.timeout = network_.simulator().schedule_after(
+      config_.reply_timeout, [this, &client, id] {
+        auto it = client.pending.find(id);
+        if (it == client.pending.end()) return;
+        ++stats_.timeouts;
+        if (hook_) hook_(false, client.node, it->second.server);
+        client.pending.erase(it);
+      });
+  client.pending.emplace(id, std::move(pending));
+
+  udp_[client.node]->send(net::cluster_ip(net::kNetworkA, peer),
+                          config_.server_port, kClientPort,
+                          config_.request_bytes, RequestTag{id});
+}
+
+}  // namespace drs::cluster

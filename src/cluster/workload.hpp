@@ -1,0 +1,72 @@
+// Application workload: the voice-mail-style request/response traffic the
+// paper's clusters served. Every node periodically sends a UDP request to a
+// peer chosen round-robin; the peer's server port answers. A request without
+// a reply inside the timeout counts as an application-visible failure —
+// exactly what DRS is supposed to prevent.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/network.hpp"
+#include "proto/udp.hpp"
+#include "sim/timer.hpp"
+#include "util/stats.hpp"
+
+namespace drs::cluster {
+
+struct WorkloadConfig {
+  util::Duration request_interval = util::Duration::millis(20);
+  util::Duration reply_timeout = util::Duration::millis(100);
+  std::uint32_t request_bytes = 256;
+  std::uint32_t reply_bytes = 512;
+  std::uint16_t server_port = 7000;
+};
+
+class RequestReplyWorkload {
+ public:
+  /// Installs a UDP server on every host and a client loop on each; clients
+  /// address peers by their primary (network A) address, so routing detours
+  /// are fully transparent to them.
+  RequestReplyWorkload(net::ClusterNetwork& network, WorkloadConfig config);
+  ~RequestReplyWorkload();
+  RequestReplyWorkload(const RequestReplyWorkload&) = delete;
+  RequestReplyWorkload& operator=(const RequestReplyWorkload&) = delete;
+
+  void start();
+  void stop();
+
+  struct Stats {
+    std::uint64_t requests_sent = 0;
+    std::uint64_t replies_received = 0;
+    std::uint64_t timeouts = 0;
+    util::RunningStats latency_seconds;
+    double success_rate() const {
+      return requests_sent == 0
+                 ? 1.0
+                 : static_cast<double>(replies_received) /
+                       static_cast<double>(requests_sent);
+    }
+  };
+  const Stats& stats() const { return stats_; }
+
+  /// Per-completion hook (success flag, client node, server node); drives
+  /// availability trackers in the scenarios.
+  using CompletionHook = std::function<void(bool ok, net::NodeId client, net::NodeId server)>;
+  void set_completion_hook(CompletionHook hook) { hook_ = std::move(hook); }
+
+ private:
+  struct ClientState;
+  void send_request(ClientState& client);
+
+  net::ClusterNetwork& network_;
+  WorkloadConfig config_;
+  std::vector<std::unique_ptr<proto::UdpService>> udp_;
+  std::vector<std::unique_ptr<ClientState>> clients_;
+  Stats stats_;
+  CompletionHook hook_;
+  std::uint64_t next_request_id_ = 1;
+};
+
+}  // namespace drs::cluster

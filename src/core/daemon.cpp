@@ -1,0 +1,648 @@
+#include "core/daemon.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/log.hpp"
+
+namespace drs::core {
+
+using net::NetworkId;
+using net::NodeId;
+
+DrsDaemon::DrsDaemon(net::Host& host, proto::IcmpService& icmp,
+                     std::uint16_t node_count, DrsConfig config)
+    : host_(host),
+      icmp_(icmp),
+      node_count_(node_count),
+      config_(config),
+      links_(host.id(), node_count,
+             LinkPolicy{config.failures_to_down, config.successes_to_up,
+                        config.flap_threshold, config.flap_window,
+                        config.flap_hold}),
+      cycle_timer_(host.simulator(), config.probe_interval, [this] { on_cycle(); }) {
+  if (config_.monitored_peers) {
+    for (NodeId peer : *config_.monitored_peers) {
+      if (peer != self() && peer < node_count_) peers_[peer] = PeerState{};
+    }
+  } else {
+    for (NodeId peer = 0; peer < node_count_; ++peer) {
+      if (peer != self()) peers_[peer] = PeerState{};
+    }
+  }
+  host_.register_handler(net::Protocol::kDrsControl,
+                         [this](const net::Packet& p, NetworkId in_if) {
+                           on_control(p, in_if);
+                         });
+}
+
+DrsDaemon::~DrsDaemon() { stop(); }
+
+void DrsDaemon::start() {
+  if (cycle_timer_.running()) return;
+  cycle_timer_.start();
+}
+
+void DrsDaemon::stop() {
+  cycle_timer_.stop();
+  for (auto seq : outstanding_probes_) icmp_.cancel(seq);
+  outstanding_probes_.clear();
+  for (auto& handle : pending_probe_sends_) handle.cancel();
+  pending_probe_sends_.clear();
+  for (auto& [peer, state] : peers_) state.discover_timer.cancel();
+  // Pending management queries are dropped without a callback: the caller
+  // stopped the daemon, so there is no meaningful answer to deliver.
+  for (auto& [id, query] : status_queries_) query.timeout.cancel();
+  status_queries_.clear();
+}
+
+PeerRouteMode DrsDaemon::peer_mode(NodeId peer) const {
+  auto it = peers_.find(peer);
+  return it == peers_.end() ? PeerRouteMode::kDirect : it->second.mode;
+}
+
+DrsDaemon::RemoteStatus DrsDaemon::local_status() const {
+  RemoteStatus status;
+  status.node = self();
+  status.links_down = static_cast<std::uint16_t>(links_.down_count());
+  std::uint16_t detours = 0;
+  for (const auto& [peer, state] : peers_) {
+    if (state.mode != PeerRouteMode::kDirect) ++detours;
+  }
+  status.detours = detours;
+  status.leases_held = static_cast<std::uint16_t>(leases_.size());
+  return status;
+}
+
+void DrsDaemon::query_peer_status(NodeId peer, util::Duration timeout,
+                                  StatusCallback done) {
+  const std::uint64_t request_id =
+      (static_cast<std::uint64_t>(self()) << 32) | next_request_seq_++;
+
+  auto payload = std::make_shared<DrsControlPayload>();
+  payload->type = DrsMessageType::kStatusRequest;
+  payload->request_id = request_id;
+  payload->requester = self();
+  payload->target = peer;
+
+  net::Packet packet;
+  // Routed (not interface-pinned): the query rides whatever detours are in
+  // force, so it reaches any node the data plane can reach.
+  packet.dst = net::cluster_ip(net::kNetworkA, peer);
+  packet.protocol = net::Protocol::kDrsControl;
+  packet.payload = std::move(payload);
+  ++metrics_.control_messages_sent;
+
+  PendingStatusQuery query;
+  query.done = std::move(done);
+  query.sent_at = host_.simulator().now();
+  query.timeout = host_.simulator().schedule_after(timeout, [this, request_id] {
+    auto it = status_queries_.find(request_id);
+    if (it == status_queries_.end()) return;
+    StatusCallback callback = std::move(it->second.done);
+    status_queries_.erase(it);
+    callback(std::nullopt);
+  });
+  status_queries_.emplace(request_id, std::move(query));
+  host_.send(std::move(packet));
+}
+
+bool DrsDaemon::host_routes_empty() const {
+  for (const auto& route : host_.routing_table().routes()) {
+    if (route.origin == net::RouteOrigin::kDrs) return false;
+  }
+  return true;
+}
+
+std::optional<NodeId> DrsDaemon::relay_for(NodeId peer) const {
+  auto it = peers_.find(peer);
+  if (it == peers_.end() || it->second.mode != PeerRouteMode::kRelay) {
+    return std::nullopt;
+  }
+  return it->second.relay;
+}
+
+// ---------------------------------------------------------------------------
+// Phase 1: monitoring
+// ---------------------------------------------------------------------------
+
+void DrsDaemon::on_cycle() {
+  // Phase 2 housekeeping first: expire relay leases we hold, refresh leases
+  // we depend on, retry discovery for unreachable peers.
+  sweep_leases();
+  for (auto& [peer, state] : peers_) {
+    if (state.mode == PeerRouteMode::kRelay) {
+      refresh_relay_lease(peer);
+      send_path_probe(peer);
+    } else if (state.mode == PeerRouteMode::kUnreachable && !state.discovering) {
+      start_discovery(peer);
+    }
+  }
+
+  // Phase 1: probe every (peer, network) link, optionally spread across the
+  // cycle so the monitoring traffic is a smooth load instead of a burst.
+  pending_probe_sends_.erase(
+      std::remove_if(pending_probe_sends_.begin(), pending_probe_sends_.end(),
+                     [](const sim::EventHandle& h) { return !h.pending(); }),
+      pending_probe_sends_.end());
+  const std::size_t total =
+      peers_.size() * static_cast<std::size_t>(net::kNetworksPerHost);
+  std::size_t index = 0;
+  for (auto& [peer, state] : peers_) {
+    for (NetworkId k = 0; k < net::kNetworksPerHost; ++k) {
+      if (config_.spread_probes && total > 0) {
+        const auto delay = util::Duration::nanos(
+            config_.probe_interval.ns() * static_cast<std::int64_t>(index) /
+            static_cast<std::int64_t>(total));
+        const NodeId p = peer;
+        pending_probe_sends_.push_back(host_.simulator().schedule_after(
+            delay, [this, p, k] { send_probe(p, k); }));
+      } else {
+        send_probe(peer, k);
+      }
+      ++index;
+    }
+  }
+}
+
+util::Duration DrsDaemon::probe_timeout_for(NetworkId network) const {
+  if (!config_.adaptive_timeout || srtt_[network] <= 0.0) {
+    return config_.probe_timeout;
+  }
+  // Jacobson bound plus a 0.5 ms safety margin for queueing behind bursts.
+  const util::Duration adaptive = util::Duration::from_seconds(
+      srtt_[network] + 4.0 * rttvar_[network] + 0.0005);
+  return std::clamp(adaptive, config_.min_probe_timeout, config_.probe_timeout);
+}
+
+void DrsDaemon::update_rtt(NetworkId network, util::Duration rtt) {
+  const double sample = rtt.to_seconds();
+  if (srtt_[network] <= 0.0) {
+    srtt_[network] = sample;
+    rttvar_[network] = sample / 2.0;
+  } else {
+    rttvar_[network] =
+        0.75 * rttvar_[network] + 0.25 * std::abs(srtt_[network] - sample);
+    srtt_[network] = 0.875 * srtt_[network] + 0.125 * sample;
+  }
+}
+
+void DrsDaemon::send_probe(NodeId peer, NetworkId network) {
+  proto::PingOptions options;
+  options.timeout = probe_timeout_for(network);
+  options.via = network;
+  options.data_bytes = config_.probe_data_bytes;
+  ++metrics_.probes_sent;
+  const std::uint16_t seq = icmp_.ping(
+      net::cluster_ip(network, peer), options,
+      [this, peer, network](const proto::PingResult& result) {
+        outstanding_probes_.erase(result.seq);
+        on_probe_result(peer, network, result);
+      });
+  outstanding_probes_.insert(seq);
+}
+
+void DrsDaemon::on_probe_result(NodeId peer, NetworkId network,
+                                const proto::PingResult& result) {
+  // The ICMP service indexes callbacks by seq; any completed seq can be
+  // dropped from the cancellation set (values recycle every 65k probes).
+  const bool success = result.success;
+  if (success) {
+    update_rtt(network, result.rtt);
+  } else {
+    ++metrics_.probes_failed;
+  }
+  const bool verdict_changed =
+      links_.record_probe(peer, network, success, host_.simulator().now());
+  if (!verdict_changed) return;
+  if (links_.state(peer, network) == LinkState::kDown) {
+    ++metrics_.links_declared_down;
+    DRS_INFO("drs", "node %u: link to %u on net %u DOWN", self(), peer, network);
+  } else {
+    ++metrics_.links_declared_up;
+    DRS_INFO("drs", "node %u: link to %u on net %u UP", self(), peer, network);
+  }
+  recompute_peer(peer);
+}
+
+// ---------------------------------------------------------------------------
+// Phase 2: fixing problems
+// ---------------------------------------------------------------------------
+
+void DrsDaemon::recompute_peer(NodeId peer) {
+  PeerState& state = peers_.at(peer);
+  const bool up_a = links_.usable(peer, net::kNetworkA);
+  const bool up_b = links_.usable(peer, net::kNetworkB);
+
+  if (up_a && up_b) {
+    state.standby_valid = false;  // fresh start; re-arm on the next failure
+    set_mode(peer, PeerRouteMode::kDirect);
+    return;
+  }
+  if (up_a || up_b) {
+    set_mode(peer, up_a ? PeerRouteMode::kViaNetworkA : PeerRouteMode::kViaNetworkB);
+    // One leg is already gone: pre-arm a relay so losing the second leg
+    // costs no discovery round trip.
+    if (config_.warm_standby && !state.standby_valid && !state.discovering) {
+      start_discovery(peer, /*for_standby=*/true);
+    }
+    return;
+  }
+  // Both direct links down. Keep a working relay if we have one; otherwise
+  // use the warm standby, and only then go hunting.
+  if (state.mode == PeerRouteMode::kRelay &&
+      links_.usable(state.relay, state.relay_network)) {
+    return;
+  }
+  if (config_.warm_standby && state.standby_valid &&
+      links_.usable(state.standby_relay, state.standby_network)) {
+    ++metrics_.standby_activations;
+    DRS_INFO("drs", "node %u: warm standby relay %u activated for peer %u",
+             self(), state.standby_relay, peer);
+    set_mode(peer, PeerRouteMode::kRelay, state.standby_relay,
+             state.standby_network);
+    refresh_relay_lease(peer);
+    return;
+  }
+  set_mode(peer, PeerRouteMode::kUnreachable);
+  start_discovery(peer);
+}
+
+void DrsDaemon::set_mode(NodeId peer, PeerRouteMode mode, NodeId relay,
+                         NetworkId relay_network) {
+  PeerState& state = peers_.at(peer);
+  if (state.mode == mode && state.relay == relay &&
+      state.relay_network == relay_network) {
+    return;
+  }
+  if (state.mode == PeerRouteMode::kRelay && mode != PeerRouteMode::kRelay) {
+    // Leaving relay mode for any reason: release the lease early
+    // (best-effort — it would expire on its own if this is lost).
+    send_control(DrsMessageType::kRouteTeardown, peer, state.request_id,
+                 state.relay, state.relay_network,
+                 net::cluster_ip(state.relay_network, state.relay));
+  }
+  metrics_.route_changes.push_back(RouteChange{host_.simulator().now(), peer,
+                                               state.mode, mode, relay});
+  state.mode = mode;
+  state.relay = relay;
+  state.relay_network = relay_network;
+  if (mode != PeerRouteMode::kUnreachable && state.discovering) {
+    state.discover_timer.cancel();
+    state.discovering = false;
+    state.offers.clear();
+  }
+  sync_routes();
+}
+
+void DrsDaemon::start_discovery(NodeId peer, bool for_standby) {
+  if (!config_.allow_relay) return;
+  PeerState& state = peers_.at(peer);
+  if (state.discovering) return;
+  state.discovering = true;
+  state.discovery_for_standby = for_standby;
+  state.offers.clear();
+  state.request_id =
+      (static_cast<std::uint64_t>(self()) << 32) | next_request_seq_++;
+  ++metrics_.discoveries_started;
+  DRS_INFO("drs", "node %u: discovering relay for peer %u", self(), peer);
+  broadcast_control(DrsMessageType::kRouteDiscover, peer, state.request_id);
+  state.discover_timer = host_.simulator().schedule_after(
+      config_.discover_timeout, [this, peer] { finish_discovery(peer); });
+}
+
+void DrsDaemon::finish_discovery(NodeId peer) {
+  PeerState& state = peers_.at(peer);
+  state.discovering = false;
+  const bool for_standby = state.discovery_for_standby;
+  state.discovery_for_standby = false;
+  if (state.offers.empty()) {
+    // No volunteer. (A mode-driving round retries next cycle.)
+    return;
+  }
+  // Deterministic choice: lowest (relay id, network). All offers are from
+  // nodes with verified direct links; any would do.
+  const auto best = std::min_element(
+      state.offers.begin(), state.offers.end(),
+      [](const PeerState::Offer& a, const PeerState::Offer& b) {
+        return std::tie(a.relay, a.network) < std::tie(b.relay, b.network);
+      });
+  const PeerState::Offer offer = *best;
+  state.offers.clear();
+  if (for_standby) {
+    state.standby_valid = true;
+    state.standby_relay = offer.relay;
+    state.standby_network = offer.network;
+    DRS_INFO("drs", "node %u: standby relay %u (net %u) armed for peer %u",
+             self(), offer.relay, offer.network, peer);
+    // Mode is untouched: the direct detour is still carrying traffic.
+    return;
+  }
+  ++metrics_.relays_selected;
+  DRS_INFO("drs", "node %u: relay %u (net %u) selected for peer %u", self(),
+           offer.relay, offer.network, peer);
+  set_mode(peer, PeerRouteMode::kRelay, offer.relay, offer.network);
+  refresh_relay_lease(peer);
+}
+
+void DrsDaemon::send_path_probe(NodeId peer) {
+  // Direct probes are pinned to interfaces, so they keep reporting the dead
+  // direct links — they say nothing about whether the relay detour actually
+  // delivers. Verify it end-to-end with a *routed* echo; a relay whose own
+  // links rotted is dropped and discovery restarts.
+  proto::PingOptions options;
+  options.timeout = config_.probe_timeout;
+  options.data_bytes = config_.probe_data_bytes;
+  ++metrics_.probes_sent;
+  const std::uint16_t seq = icmp_.ping(
+      net::cluster_ip(net::kNetworkA, peer), options,
+      [this, peer](const proto::PingResult& result) {
+        outstanding_probes_.erase(result.seq);
+        auto it = peers_.find(peer);
+        if (it == peers_.end() || it->second.mode != PeerRouteMode::kRelay) return;
+        PeerState& state = it->second;
+        if (result.success) {
+          state.path_probe_failures = 0;
+          return;
+        }
+        ++metrics_.probes_failed;
+        if (++state.path_probe_failures >= config_.failures_to_down) {
+          DRS_INFO("drs", "node %u: relay path to %u via %u is dead", self(),
+                   peer, state.relay);
+          state.path_probe_failures = 0;
+          set_mode(peer, PeerRouteMode::kUnreachable);
+          start_discovery(peer);
+        }
+      });
+  outstanding_probes_.insert(seq);
+}
+
+void DrsDaemon::refresh_relay_lease(NodeId peer) {
+  const PeerState& state = peers_.at(peer);
+  assert(state.mode == PeerRouteMode::kRelay);
+  send_control(DrsMessageType::kRouteSet, peer, state.request_id, state.relay,
+               state.relay_network,
+               net::cluster_ip(state.relay_network, state.relay));
+}
+
+void DrsDaemon::sweep_leases() {
+  const util::SimTime now = host_.simulator().now();
+  bool changed = false;
+  for (auto it = leases_.begin(); it != leases_.end();) {
+    if (it->second.expires < now) {
+      ++metrics_.leases_expired;
+      it = leases_.erase(it);
+      changed = true;
+    } else {
+      ++it;
+    }
+  }
+  if (changed) sync_routes();
+}
+
+// ---------------------------------------------------------------------------
+// Route synchronization
+// ---------------------------------------------------------------------------
+
+void DrsDaemon::sync_routes() {
+  // Declarative: compute the complete set of /32 DRS routes this node should
+  // have, then reconcile the table. Idempotent by construction, so no
+  // ordering of failures/repairs/lease churn can leave stale state behind.
+  std::map<std::uint32_t, net::Route> desired;
+
+  auto add = [&](net::Ipv4Addr dst, NetworkId out_if, net::Ipv4Addr next_hop) {
+    desired[dst.value()] = net::Route{
+        .prefix = dst,
+        .prefix_len = 32,
+        .out_ifindex = out_if,
+        .next_hop = next_hop,
+        .metric = 1,
+        .origin = net::RouteOrigin::kDrs,
+    };
+  };
+
+  // Relay role: for every active lease, make sure both endpoints' addresses
+  // are deliverable from here, overriding the subnet route where the direct
+  // link is down.
+  for (const auto& [key, lease] : leases_) {
+    for (NodeId endpoint : {key.requester, key.target}) {
+      if (endpoint == self() || endpoint >= node_count_) continue;
+      for (NetworkId k = 0; k < net::kNetworksPerHost; ++k) {
+        const NetworkId other = static_cast<NetworkId>(1 - k);
+        if (!links_.usable(endpoint, k) && links_.usable(endpoint, other)) {
+          add(net::cluster_ip(k, endpoint), other, net::cluster_ip(other, endpoint));
+        }
+      }
+    }
+  }
+
+  // Requester role: our own per-peer routing decisions (written after the
+  // lease loop, so they win on conflict).
+  for (const auto& [peer, state] : peers_) {
+    switch (state.mode) {
+      case PeerRouteMode::kDirect:
+      case PeerRouteMode::kUnreachable:
+        break;
+      case PeerRouteMode::kViaNetworkA:
+        add(net::cluster_ip(net::kNetworkB, peer), net::kNetworkA,
+            net::cluster_ip(net::kNetworkA, peer));
+        break;
+      case PeerRouteMode::kViaNetworkB:
+        add(net::cluster_ip(net::kNetworkA, peer), net::kNetworkB,
+            net::cluster_ip(net::kNetworkB, peer));
+        break;
+      case PeerRouteMode::kRelay: {
+        const net::Ipv4Addr relay_addr =
+            net::cluster_ip(state.relay_network, state.relay);
+        add(net::cluster_ip(net::kNetworkA, peer), state.relay_network, relay_addr);
+        add(net::cluster_ip(net::kNetworkB, peer), state.relay_network, relay_addr);
+        break;
+      }
+    }
+  }
+
+  // Reconcile.
+  net::RoutingTable& table = host_.routing_table();
+  std::vector<net::Ipv4Addr> stale;
+  for (const auto& route : table.routes()) {
+    if (route.origin != net::RouteOrigin::kDrs) continue;
+    auto want = desired.find(route.prefix.value());
+    if (want == desired.end()) {
+      stale.push_back(route.prefix);
+    } else if (want->second.out_ifindex == route.out_ifindex &&
+               want->second.next_hop == route.next_hop) {
+      desired.erase(want);  // already in place
+    }
+  }
+  for (net::Ipv4Addr prefix : stale) {
+    table.remove(prefix, 32, net::RouteOrigin::kDrs);
+    ++metrics_.route_removals;
+  }
+  for (const auto& [value, route] : desired) {
+    table.install(route);
+    ++metrics_.route_installs;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Control plane
+// ---------------------------------------------------------------------------
+
+void DrsDaemon::send_control(DrsMessageType type, NodeId target_node,
+                             std::uint64_t request_id, NodeId relay,
+                             NetworkId via, net::Ipv4Addr dst) {
+  auto payload = std::make_shared<DrsControlPayload>();
+  payload->type = type;
+  payload->request_id = request_id;
+  payload->requester = self();
+  payload->target = target_node;
+  payload->relay = relay;
+
+  net::Packet packet;
+  packet.dst = dst;
+  packet.protocol = net::Protocol::kDrsControl;
+  packet.payload = std::move(payload);
+  ++metrics_.control_messages_sent;
+  host_.send_via(via, dst, std::move(packet));
+}
+
+void DrsDaemon::broadcast_control(DrsMessageType type, NodeId target_node,
+                                  std::uint64_t request_id) {
+  for (NetworkId k = 0; k < net::kNetworksPerHost; ++k) {
+    auto payload = std::make_shared<DrsControlPayload>();
+    payload->type = type;
+    payload->request_id = request_id;
+    payload->requester = self();
+    payload->target = target_node;
+
+    net::Packet packet;
+    packet.dst = net::Ipv4Addr(net::cluster_subnet(k).value() | 0xFFu);
+    packet.protocol = net::Protocol::kDrsControl;
+    packet.payload = std::move(payload);
+    ++metrics_.control_messages_sent;
+    host_.broadcast_on(k, std::move(packet));
+  }
+}
+
+void DrsDaemon::on_control(const net::Packet& packet, NetworkId in_ifindex) {
+  const auto* msg = dynamic_cast<const DrsControlPayload*>(packet.payload.get());
+  if (msg == nullptr) return;
+  switch (msg->type) {
+    case DrsMessageType::kRouteDiscover:
+      handle_discover(*msg, packet, in_ifindex);
+      break;
+    case DrsMessageType::kRouteOffer:
+      handle_offer(*msg, packet, in_ifindex);
+      break;
+    case DrsMessageType::kRouteSet:
+      handle_route_set(*msg, packet, in_ifindex);
+      break;
+    case DrsMessageType::kRouteSetAck:
+      break;  // metrics-only today; the lease refresh is unacknowledged-safe
+    case DrsMessageType::kRouteTeardown:
+      handle_teardown(*msg);
+      break;
+    case DrsMessageType::kStatusRequest:
+      handle_status_request(*msg, packet, in_ifindex);
+      break;
+    case DrsMessageType::kStatusReply:
+      handle_status_reply(*msg);
+      break;
+  }
+}
+
+void DrsDaemon::handle_status_request(const DrsControlPayload& msg,
+                                      const net::Packet& packet,
+                                      NetworkId in_ifindex) {
+  (void)in_ifindex;
+  if (msg.target != self()) return;
+  const RemoteStatus status = local_status();
+  auto payload = std::make_shared<DrsControlPayload>();
+  payload->type = DrsMessageType::kStatusReply;
+  payload->request_id = msg.request_id;
+  payload->requester = self();  // the responder identifies itself here
+  payload->target = msg.requester;
+  payload->links_down = status.links_down;
+  payload->detours = status.detours;
+  payload->leases_held = status.leases_held;
+
+  net::Packet reply;
+  reply.dst = packet.src;  // routed back, possibly over a different path
+  reply.protocol = net::Protocol::kDrsControl;
+  reply.payload = std::move(payload);
+  ++metrics_.control_messages_sent;
+  host_.send(std::move(reply));
+}
+
+void DrsDaemon::handle_status_reply(const DrsControlPayload& msg) {
+  auto it = status_queries_.find(msg.request_id);
+  if (it == status_queries_.end()) return;  // late reply after timeout
+  PendingStatusQuery query = std::move(it->second);
+  status_queries_.erase(it);
+  query.timeout.cancel();
+
+  RemoteStatus status;
+  status.node = msg.requester;
+  status.links_down = msg.links_down;
+  status.detours = msg.detours;
+  status.leases_held = msg.leases_held;
+  status.rtt = host_.simulator().now() - query.sent_at;
+  query.done(status);
+}
+
+void DrsDaemon::handle_discover(const DrsControlPayload& msg,
+                                const net::Packet& packet, NetworkId in_ifindex) {
+  if (msg.requester == self() || msg.target == self()) return;
+  if (msg.target >= node_count_) return;
+  // No link-state evidence about unmonitored peers: never volunteer blind.
+  if (peers_.find(msg.target) == peers_.end()) return;
+  // Loop avoidance: offer only when we have *direct* usable links — never
+  // volunteer a path that itself depends on a detour.
+  bool can_reach_target = false;
+  for (NetworkId k = 0; k < net::kNetworksPerHost; ++k) {
+    if (links_.usable(msg.target, k)) can_reach_target = true;
+  }
+  if (!can_reach_target) return;
+  // The discover arrived on in_ifindex, so the requester-to-us link on that
+  // network carries traffic; answer there.
+  ++metrics_.offers_sent;
+  send_control(DrsMessageType::kRouteOffer, msg.target, msg.request_id, self(),
+               in_ifindex, packet.src);
+}
+
+void DrsDaemon::handle_offer(const DrsControlPayload& msg,
+                             const net::Packet& packet, NetworkId in_ifindex) {
+  auto it = peers_.find(msg.target);
+  if (it == peers_.end()) return;
+  PeerState& state = it->second;
+  if (!state.discovering || msg.request_id != state.request_id) return;
+  ++metrics_.offers_received;
+  state.offers.push_back(PeerState::Offer{msg.relay, in_ifindex, packet.src});
+}
+
+void DrsDaemon::handle_route_set(const DrsControlPayload& msg,
+                                 const net::Packet& packet, NetworkId in_ifindex) {
+  if (msg.relay != self()) return;
+  if (msg.requester >= node_count_ || msg.target >= node_count_) return;
+  // Accept leases only for peers we monitor (we never offered otherwise;
+  // this guards against stale or forged requests).
+  if (peers_.find(msg.target) == peers_.end() ||
+      peers_.find(msg.requester) == peers_.end()) {
+    return;
+  }
+  ++metrics_.route_sets_honored;
+  leases_[LeaseKey{msg.requester, msg.target}] =
+      Lease{host_.simulator().now() + config_.relay_route_lifetime};
+  sync_routes();
+  send_control(DrsMessageType::kRouteSetAck, msg.target, msg.request_id, self(),
+               in_ifindex, packet.src);
+}
+
+void DrsDaemon::handle_teardown(const DrsControlPayload& msg) {
+  if (leases_.erase(LeaseKey{msg.requester, msg.target}) > 0) {
+    sync_routes();
+  }
+}
+
+}  // namespace drs::core

@@ -1,0 +1,185 @@
+// The DRS daemon: one per host, implementing the paper's two-phase run
+// process.
+//
+// Phase 1 (monitoring): each cycle, send an ICMP echo to every monitored
+// peer on every network, pinned to the corresponding interface. Probe
+// verdicts drive a per-(peer, network) link-state machine.
+//
+// Phase 2 (answering requests and fixing problems): react to link verdicts
+// by re-routing *before applications notice*:
+//   - one direct link down        -> pin the peer's addresses to the other
+//                                    network (point-to-point /32 detour);
+//   - both direct links down      -> broadcast ROUTE_DISCOVER; any node with
+//                                    working links to both parties answers
+//                                    ROUTE_OFFER; lease forwarding state on
+//                                    the chosen relay with ROUTE_SET;
+//   - links heal                  -> tear the detour down and fall back to
+//                                    plain subnet routing.
+//
+// Loop avoidance: a node only ever offers to relay using its *direct* links
+// (never through a detour of its own), and detour routes always point one
+// hop away, so forwarded traffic traverses at most one intermediate node.
+// This is the invariant the paper's reference [1] proves; tests assert it by
+// checking that TTLs never drop more than two hops' worth.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/link_state.hpp"
+#include "core/messages.hpp"
+#include "core/metrics.hpp"
+#include "net/host.hpp"
+#include "proto/icmp.hpp"
+#include "sim/timer.hpp"
+
+namespace drs::core {
+
+class DrsDaemon {
+ public:
+  /// `node_count` defines the monitored peer set: all cluster nodes but this
+  /// one (the deployed daemons were "configured to monitor hosts on the
+  /// networks" — in these clusters, all of them).
+  DrsDaemon(net::Host& host, proto::IcmpService& icmp, std::uint16_t node_count,
+            DrsConfig config);
+  ~DrsDaemon();
+  DrsDaemon(const DrsDaemon&) = delete;
+  DrsDaemon& operator=(const DrsDaemon&) = delete;
+
+  void start();
+  void stop();
+  bool running() const { return cycle_timer_.running(); }
+
+  net::NodeId self() const { return host_.id(); }
+  const DrsConfig& config() const { return config_; }
+  const LinkStateTable& links() const { return links_; }
+  const DaemonMetrics& metrics() const { return metrics_; }
+
+  /// Whether this daemon probes (and therefore has link state for) `peer`.
+  bool monitors(net::NodeId peer) const { return peers_.count(peer) > 0; }
+  std::size_t monitored_count() const { return peers_.size(); }
+
+  PeerRouteMode peer_mode(net::NodeId peer) const;
+  std::optional<net::NodeId> relay_for(net::NodeId peer) const;
+  /// Relay-side leases currently held on this node.
+  std::size_t active_leases() const { return leases_.size(); }
+  /// True when this node carries no DRS-installed routes (pure subnet
+  /// routing) — the steady state of a healthy cluster.
+  bool host_routes_empty() const;
+
+  /// Management plane: a remote daemon's health snapshot, fetched over the
+  /// same control channel (and therefore over whatever detours are in
+  /// force — a queryable node is by definition a reachable one).
+  struct RemoteStatus {
+    net::NodeId node = 0;
+    std::uint16_t links_down = 0;
+    std::uint16_t detours = 0;
+    std::uint16_t leases_held = 0;
+    util::Duration rtt = util::Duration::zero();
+  };
+  using StatusCallback = std::function<void(const std::optional<RemoteStatus>&)>;
+  /// Sends a STATUS_REQUEST to `peer`; the callback fires exactly once with
+  /// the reply or, after `timeout`, with nullopt.
+  void query_peer_status(net::NodeId peer, util::Duration timeout,
+                         StatusCallback done);
+
+  /// The snapshot this daemon would report about itself.
+  RemoteStatus local_status() const;
+
+ private:
+  struct PeerState {
+    PeerRouteMode mode = PeerRouteMode::kDirect;
+    net::NodeId relay = 0;
+    net::NetworkId relay_network = 0;
+    bool discovering = false;
+    /// This discovery round only refreshes the standby; do not switch modes.
+    bool discovery_for_standby = false;
+    std::uint32_t path_probe_failures = 0;
+    std::uint64_t request_id = 0;
+    sim::EventHandle discover_timer;
+    /// Warm-standby relay candidate (config.warm_standby).
+    bool standby_valid = false;
+    net::NodeId standby_relay = 0;
+    net::NetworkId standby_network = 0;
+    struct Offer {
+      net::NodeId relay;
+      net::NetworkId network;  // where the offer arrived
+      net::Ipv4Addr relay_addr;
+    };
+    std::vector<Offer> offers;
+  };
+
+  struct LeaseKey {
+    net::NodeId requester;
+    net::NodeId target;
+    auto operator<=>(const LeaseKey&) const = default;
+  };
+  struct Lease {
+    util::SimTime expires;
+  };
+
+  void on_cycle();
+  void send_probe(net::NodeId peer, net::NetworkId network);
+  void on_probe_result(net::NodeId peer, net::NetworkId network,
+                       const proto::PingResult& result);
+  /// Current per-probe timeout: fixed, or RTT-derived when adaptive.
+  util::Duration probe_timeout_for(net::NetworkId network) const;
+  void update_rtt(net::NetworkId network, util::Duration rtt);
+  void recompute_peer(net::NodeId peer);
+  void set_mode(net::NodeId peer, PeerRouteMode mode, net::NodeId relay = 0,
+                net::NetworkId relay_network = 0);
+  void start_discovery(net::NodeId peer, bool for_standby = false);
+  void finish_discovery(net::NodeId peer);
+  void send_path_probe(net::NodeId peer);
+  void refresh_relay_lease(net::NodeId peer);
+  void sweep_leases();
+  void sync_routes();
+
+  void on_control(const net::Packet& packet, net::NetworkId in_ifindex);
+  void handle_discover(const DrsControlPayload& msg, const net::Packet& packet,
+                       net::NetworkId in_ifindex);
+  void handle_offer(const DrsControlPayload& msg, const net::Packet& packet,
+                    net::NetworkId in_ifindex);
+  void handle_route_set(const DrsControlPayload& msg, const net::Packet& packet,
+                        net::NetworkId in_ifindex);
+  void handle_teardown(const DrsControlPayload& msg);
+  void handle_status_request(const DrsControlPayload& msg, const net::Packet& packet,
+                             net::NetworkId in_ifindex);
+  void handle_status_reply(const DrsControlPayload& msg);
+
+  void send_control(DrsMessageType type, net::NodeId target_node,
+                    std::uint64_t request_id, net::NodeId relay,
+                    net::NetworkId via, net::Ipv4Addr dst);
+  void broadcast_control(DrsMessageType type, net::NodeId target_node,
+                         std::uint64_t request_id);
+
+  net::Host& host_;
+  proto::IcmpService& icmp_;
+  std::uint16_t node_count_;
+  DrsConfig config_;
+  LinkStateTable links_;
+  DaemonMetrics metrics_;
+  std::map<net::NodeId, PeerState> peers_;
+  std::map<LeaseKey, Lease> leases_;
+  sim::PeriodicTimer cycle_timer_;
+  std::unordered_set<std::uint16_t> outstanding_probes_;
+  std::vector<sim::EventHandle> pending_probe_sends_;
+  std::uint32_t next_request_seq_ = 1;
+  /// Per-network RTT estimators (seconds) for the adaptive probe timeout.
+  std::array<double, net::kNetworksPerHost> srtt_{};
+  std::array<double, net::kNetworksPerHost> rttvar_{};
+
+  struct PendingStatusQuery {
+    StatusCallback done;
+    util::SimTime sent_at;
+    sim::EventHandle timeout;
+  };
+  std::map<std::uint64_t, PendingStatusQuery> status_queries_;
+};
+
+}  // namespace drs::core

@@ -1,0 +1,110 @@
+#include "core/link_state.hpp"
+
+#include <cassert>
+
+namespace drs::core {
+
+const char* to_string(LinkState s) {
+  switch (s) {
+    case LinkState::kUp: return "up";
+    case LinkState::kSuspect: return "suspect";
+    case LinkState::kDown: return "down";
+  }
+  return "?";
+}
+
+LinkStateTable::LinkStateTable(net::NodeId self, std::uint16_t node_count,
+                               LinkPolicy policy)
+    : self_(self),
+      node_count_(node_count),
+      policy_(policy),
+      entries_(static_cast<std::size_t>(node_count) * net::kNetworksPerHost) {
+  if (policy_.failures_to_down == 0) policy_.failures_to_down = 1;
+  if (policy_.successes_to_up == 0) policy_.successes_to_up = 1;
+}
+
+LinkStateTable::LinkStateTable(net::NodeId self, std::uint16_t node_count,
+                               std::uint32_t failures_to_down,
+                               std::uint32_t successes_to_up)
+    : LinkStateTable(self, node_count,
+                     LinkPolicy{failures_to_down, successes_to_up, 0,
+                                util::Duration::seconds(10),
+                                util::Duration::seconds(5)}) {}
+
+LinkStateTable::Entry& LinkStateTable::entry(net::NodeId peer, net::NetworkId network) {
+  assert(peer < node_count_ && network < net::kNetworksPerHost);
+  return entries_[static_cast<std::size_t>(peer) * net::kNetworksPerHost + network];
+}
+
+const LinkStateTable::Entry& LinkStateTable::entry(net::NodeId peer,
+                                                   net::NetworkId network) const {
+  assert(peer < node_count_ && network < net::kNetworksPerHost);
+  return entries_[static_cast<std::size_t>(peer) * net::kNetworksPerHost + network];
+}
+
+bool LinkStateTable::record_probe(net::NodeId peer, net::NetworkId network,
+                                  bool success, util::SimTime now) {
+  Entry& e = entry(peer, network);
+  const LinkState before = e.state;
+  if (success) {
+    e.consecutive_failures = 0;
+    ++e.consecutive_successes;
+    // Flap damping: while suppressed, successes are recorded but the link
+    // is not allowed back UP — it must prove itself after the hold.
+    const bool held = policy_.flap_threshold > 0 && now < e.suppressed_until;
+    if (!held) {
+      if (e.state == LinkState::kSuspect) {
+        e.state = LinkState::kUp;
+      } else if (e.state == LinkState::kDown &&
+                 e.consecutive_successes >= policy_.successes_to_up) {
+        e.state = LinkState::kUp;
+      }
+    }
+  } else {
+    e.consecutive_successes = 0;
+    ++e.consecutive_failures;
+    if (e.consecutive_failures >= policy_.failures_to_down) {
+      if (e.state != LinkState::kDown && policy_.flap_threshold > 0) {
+        // A fresh DOWN verdict: account it against the flap budget.
+        e.recent_downs.push_back(now);
+        while (!e.recent_downs.empty() &&
+               now - e.recent_downs.front() > policy_.flap_window) {
+          e.recent_downs.pop_front();
+        }
+        if (e.recent_downs.size() > policy_.flap_threshold) {
+          e.suppressed_until = now + policy_.flap_hold;
+          ++suppressions_;
+        }
+      }
+      e.state = LinkState::kDown;
+    } else if (e.state == LinkState::kUp) {
+      e.state = LinkState::kSuspect;
+    }
+  }
+  if (e.state != before) {
+    history_.push_back(LinkTransition{now, peer, network, before, e.state});
+  }
+  // Verdict change = crossing the UP/DOWN boundary in either direction.
+  const bool was_down = before == LinkState::kDown;
+  const bool is_down = e.state == LinkState::kDown;
+  return was_down != is_down;
+}
+
+LinkState LinkStateTable::state(net::NodeId peer, net::NetworkId network) const {
+  return entry(peer, network).state;
+}
+
+std::size_t LinkStateTable::down_count() const {
+  std::size_t count = 0;
+  for (const auto& e : entries_) {
+    if (e.state == LinkState::kDown) ++count;
+  }
+  return count;
+}
+
+bool LinkStateTable::suppressed(net::NodeId peer, net::NetworkId network,
+                                util::SimTime now) const {
+  return policy_.flap_threshold > 0 && now < entry(peer, network).suppressed_until;
+}
+
+}  // namespace drs::core

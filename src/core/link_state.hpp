@@ -1,0 +1,92 @@
+// Per-daemon link state: what this node believes about its own link to each
+// (peer, network) pair, driven purely by probe outcomes.
+//
+// State machine:  UP --loss--> SUSPECT --(failures_to_down-1 more)--> DOWN
+//                 DOWN --(successes_to_up)--> UP, SUSPECT --success--> UP
+//
+// Optional flap damping: a link whose UP->DOWN verdict flips too often
+// within a window has its recovery suppressed for a hold period, so a
+// marginal transceiver cannot make the whole cluster re-route every second.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "net/addr.hpp"
+#include "util/time.hpp"
+
+namespace drs::core {
+
+enum class LinkState : std::uint8_t { kUp, kSuspect, kDown };
+
+const char* to_string(LinkState s);
+
+struct LinkTransition {
+  util::SimTime at;
+  net::NodeId peer = 0;
+  net::NetworkId network = 0;
+  LinkState from = LinkState::kUp;
+  LinkState to = LinkState::kUp;
+};
+
+/// Verdict thresholds and damping parameters for a LinkStateTable.
+struct LinkPolicy {
+  std::uint32_t failures_to_down = 2;
+  std::uint32_t successes_to_up = 1;
+  /// Flap damping (0 = off): more than this many DOWN verdicts within
+  /// flap_window suppresses recovery for flap_hold.
+  std::uint32_t flap_threshold = 0;
+  util::Duration flap_window = util::Duration::seconds(10);
+  util::Duration flap_hold = util::Duration::seconds(5);
+};
+
+class LinkStateTable {
+ public:
+  LinkStateTable(net::NodeId self, std::uint16_t node_count, LinkPolicy policy);
+  /// Convenience: thresholds only, damping off.
+  LinkStateTable(net::NodeId self, std::uint16_t node_count,
+                 std::uint32_t failures_to_down, std::uint32_t successes_to_up);
+
+  /// Records a probe outcome; returns true iff the UP/DOWN verdict changed
+  /// (SUSPECT does not count as a verdict change).
+  bool record_probe(net::NodeId peer, net::NetworkId network, bool success,
+                    util::SimTime now);
+
+  LinkState state(net::NodeId peer, net::NetworkId network) const;
+  /// Operational for routing decisions: UP or SUSPECT (a link is only acted
+  /// on once proven DOWN — the paper's daemon fixes problems, it does not
+  /// anticipate them from a single lost echo).
+  bool usable(net::NodeId peer, net::NetworkId network) const {
+    return state(peer, network) != LinkState::kDown;
+  }
+
+  std::size_t down_count() const;
+  const std::vector<LinkTransition>& history() const { return history_; }
+
+  /// True while the link's recovery is suppressed by flap damping.
+  bool suppressed(net::NodeId peer, net::NetworkId network,
+                  util::SimTime now) const;
+  /// Total hold periods imposed so far.
+  std::uint64_t suppressions() const { return suppressions_; }
+
+ private:
+  struct Entry {
+    LinkState state = LinkState::kUp;
+    std::uint32_t consecutive_failures = 0;
+    std::uint32_t consecutive_successes = 0;
+    std::deque<util::SimTime> recent_downs;  // for flap damping
+    util::SimTime suppressed_until;          // zero = not suppressed
+  };
+  Entry& entry(net::NodeId peer, net::NetworkId network);
+  const Entry& entry(net::NodeId peer, net::NetworkId network) const;
+
+  net::NodeId self_;
+  std::uint16_t node_count_;
+  LinkPolicy policy_;
+  std::vector<Entry> entries_;  // [peer * 2 + network]
+  std::vector<LinkTransition> history_;
+  std::uint64_t suppressions_ = 0;
+};
+
+}  // namespace drs::core

@@ -1,0 +1,27 @@
+#include "core/messages.hpp"
+
+#include <sstream>
+
+namespace drs::core {
+
+const char* to_string(DrsMessageType t) {
+  switch (t) {
+    case DrsMessageType::kRouteDiscover: return "ROUTE_DISCOVER";
+    case DrsMessageType::kRouteOffer: return "ROUTE_OFFER";
+    case DrsMessageType::kRouteSet: return "ROUTE_SET";
+    case DrsMessageType::kRouteSetAck: return "ROUTE_SET_ACK";
+    case DrsMessageType::kRouteTeardown: return "ROUTE_TEARDOWN";
+    case DrsMessageType::kStatusRequest: return "STATUS_REQUEST";
+    case DrsMessageType::kStatusReply: return "STATUS_REPLY";
+  }
+  return "?";
+}
+
+std::string DrsControlPayload::describe() const {
+  std::ostringstream out;
+  out << to_string(type) << " req=" << requester << " target=" << target
+      << " relay=" << relay << " id=" << request_id;
+  return out.str();
+}
+
+}  // namespace drs::core

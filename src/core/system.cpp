@@ -1,0 +1,68 @@
+#include "core/system.hpp"
+
+namespace drs::core {
+
+DrsSystem::DrsSystem(net::ClusterNetwork& network, DrsConfig config)
+    : network_(network) {
+  const std::uint16_t n = network_.node_count();
+  icmp_.reserve(n);
+  daemons_.reserve(n);
+  for (net::NodeId i = 0; i < n; ++i) {
+    icmp_.push_back(std::make_unique<proto::IcmpService>(network_.host(i)));
+    daemons_.push_back(
+        std::make_unique<DrsDaemon>(network_.host(i), *icmp_.back(), n, config));
+  }
+}
+
+void DrsSystem::start() {
+  for (auto& daemon : daemons_) daemon->start();
+}
+
+void DrsSystem::stop() {
+  for (auto& daemon : daemons_) daemon->stop();
+}
+
+std::uint64_t DrsSystem::total_probes_sent() const {
+  std::uint64_t total = 0;
+  for (const auto& daemon : daemons_) total += daemon->metrics().probes_sent;
+  return total;
+}
+
+std::uint64_t DrsSystem::total_control_messages() const {
+  std::uint64_t total = 0;
+  for (const auto& daemon : daemons_) {
+    total += daemon->metrics().control_messages_sent;
+  }
+  return total;
+}
+
+std::uint64_t DrsSystem::total_route_installs() const {
+  std::uint64_t total = 0;
+  for (const auto& daemon : daemons_) total += daemon->metrics().route_installs;
+  return total;
+}
+
+bool DrsSystem::test_reachability(net::NodeId a, net::NodeId b,
+                                  util::Duration timeout) {
+  bool replied = false;
+  bool done = false;
+  proto::PingOptions options;
+  options.timeout = timeout;
+  icmp_.at(a)->ping(net::cluster_ip(net::kNetworkA, b), options,
+                    [&](const proto::PingResult& result) {
+                      replied = result.success;
+                      done = true;
+                    });
+  sim::Simulator& sim = network_.simulator();
+  const util::SimTime deadline = sim.now() + timeout + util::Duration::millis(1);
+  while (!done && sim.now() < deadline && !sim.idle()) {
+    sim.step();
+  }
+  return replied;
+}
+
+void DrsSystem::settle(util::Duration warmup) {
+  network_.simulator().run_for(warmup);
+}
+
+}  // namespace drs::core

@@ -1,0 +1,50 @@
+// DrsSystem: the package a downstream user instantiates — one DRS daemon and
+// one ICMP service per cluster host, started together. This is the public
+// entry point the examples and benches build on.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/daemon.hpp"
+#include "net/network.hpp"
+
+namespace drs::core {
+
+class DrsSystem {
+ public:
+  DrsSystem(net::ClusterNetwork& network, DrsConfig config);
+
+  void start();
+  void stop();
+
+  net::ClusterNetwork& network() { return network_; }
+  DrsDaemon& daemon(net::NodeId node) { return *daemons_.at(node); }
+  const DrsDaemon& daemon(net::NodeId node) const { return *daemons_.at(node); }
+  proto::IcmpService& icmp(net::NodeId node) { return *icmp_.at(node); }
+
+  std::uint16_t node_count() const { return network_.node_count(); }
+
+  /// Aggregates across all daemons.
+  std::uint64_t total_probes_sent() const;
+  std::uint64_t total_control_messages() const;
+  std::uint64_t total_route_installs() const;
+
+  /// End-to-end check: sends a *routed* echo from `a` to `b`'s primary
+  /// address and advances the simulation until it concludes (at most
+  /// `timeout`). Returns whether a reply arrived. Note this moves simulated
+  /// time forward — it is a measurement, not a pure query.
+  bool test_reachability(net::NodeId a, net::NodeId b,
+                         util::Duration timeout = util::Duration::millis(250));
+
+  /// Runs the simulation for `warmup` so every daemon completes at least one
+  /// full monitoring cycle and converges on the current failure pattern.
+  void settle(util::Duration warmup);
+
+ private:
+  net::ClusterNetwork& network_;
+  std::vector<std::unique_ptr<proto::IcmpService>> icmp_;
+  std::vector<std::unique_ptr<DrsDaemon>> daemons_;
+};
+
+}  // namespace drs::core

@@ -1,0 +1,3 @@
+// EchoFrameModel is header-only; this translation unit anchors the library
+// target.
+#include "cost/ethernet_model.hpp"

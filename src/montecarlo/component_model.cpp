@@ -1,0 +1,34 @@
+#include "montecarlo/component_model.hpp"
+
+#include <cassert>
+#include <vector>
+
+#include "analytic/survivability.hpp"
+
+namespace drs::mc {
+
+void sample_failures(std::int64_t nodes, std::int64_t failures, util::Rng& rng,
+                     analytic::ComponentSet& out) {
+  assert(failures >= 0 && failures <= analytic::component_count(nodes));
+  out.clear();
+  // thread_local scratch keeps the hot Monte-Carlo loop allocation-free.
+  thread_local std::vector<std::uint32_t> picks;
+  rng.sample_distinct(static_cast<std::uint64_t>(analytic::component_count(nodes)),
+                      static_cast<std::size_t>(failures), picks);
+  for (std::uint32_t c : picks) out.set(c);
+}
+
+bool trial_pair_connected(std::int64_t nodes, std::int64_t failures, util::Rng& rng) {
+  analytic::ComponentSet failed;
+  sample_failures(nodes, failures, rng, failed);
+  return analytic::pair_connected(nodes, failed, 0, 1);
+}
+
+bool trial_all_pairs_connected(std::int64_t nodes, std::int64_t failures,
+                               util::Rng& rng) {
+  analytic::ComponentSet failed;
+  sample_failures(nodes, failures, rng, failed);
+  return analytic::all_live_pairs_connected(nodes, failed);
+}
+
+}  // namespace drs::mc

@@ -1,0 +1,28 @@
+// Component-level Monte-Carlo trial: draw a uniform f-subset of the 2N+2
+// components, ask the ground-truth predicate whether the designated pair
+// stays connected. This is the "computer simulation of a networking system
+// with N nodes and f failures implementing the DRS algorithm" the paper
+// validates Equation 1 with.
+#pragma once
+
+#include <cstdint>
+
+#include "analytic/enumerate.hpp"
+#include "util/rng.hpp"
+
+namespace drs::mc {
+
+/// Draws exactly `failures` distinct failed components into `out`.
+void sample_failures(std::int64_t nodes, std::int64_t failures, util::Rng& rng,
+                     analytic::ComponentSet& out);
+
+/// One trial: sample + connectivity check for pair (0, 1).
+bool trial_pair_connected(std::int64_t nodes, std::int64_t failures, util::Rng& rng);
+
+/// One trial of the system-wide criterion: every pair of network-alive nodes
+/// connected (hosts with both NICs failed excluded — they are host failures,
+/// not routing failures).
+bool trial_all_pairs_connected(std::int64_t nodes, std::int64_t failures,
+                               util::Rng& rng);
+
+}  // namespace drs::mc

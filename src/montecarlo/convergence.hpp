@@ -1,0 +1,42 @@
+// The Fig. 3 experiment: how fast the Monte-Carlo estimate converges to
+// Equation 1.
+//
+// For each fixed failure count f, run the estimator at a given iteration
+// budget for every cluster size f < N < n_limit, and report the mean
+// absolute deviation from the closed form across those N. The paper plots
+// this against the iteration count on a log10 axis and observes monotone
+// convergence to zero, with the deviation already small at 1,000 iterations.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "montecarlo/estimator.hpp"
+
+namespace drs::mc {
+
+struct ConvergenceOptions {
+  std::vector<std::int64_t> failure_counts = {2, 3, 4, 5, 6, 7, 8, 9, 10};
+  std::vector<std::uint64_t> iteration_counts = {10, 100, 1000, 10000, 100000};
+  /// N ranges over f < N < n_limit (the paper uses 64).
+  std::int64_t n_limit = 64;
+  std::uint64_t seed = 0x5EED5EEDULL;
+  unsigned threads = 1;
+};
+
+struct ConvergencePoint {
+  std::int64_t failures = 0;
+  std::uint64_t iterations = 0;
+  double mean_abs_deviation = 0.0;
+  double max_abs_deviation = 0.0;
+};
+
+/// Runs the full sweep; points ordered by (failures, iterations).
+std::vector<ConvergencePoint> run_convergence(const ConvergenceOptions& options);
+
+/// One cell of the sweep.
+ConvergencePoint convergence_point(std::int64_t failures, std::uint64_t iterations,
+                                   std::int64_t n_limit, std::uint64_t seed,
+                                   unsigned threads);
+
+}  // namespace drs::mc

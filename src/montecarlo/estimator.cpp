@@ -1,0 +1,107 @@
+#include "montecarlo/estimator.hpp"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "montecarlo/component_model.hpp"
+#include "util/rng.hpp"
+
+namespace drs::mc {
+
+namespace {
+
+/// One deterministic RNG block. The stream id folds in every coordinate plus
+/// a per-criterion salt, so (N, f) sweeps and the two success criteria never
+/// share random streams.
+template <typename Trial>
+std::uint64_t run_block(std::int64_t nodes, std::int64_t failures,
+                        std::uint64_t seed, std::uint64_t salt,
+                        std::uint64_t block, std::uint64_t iterations,
+                        Trial&& trial) {
+  const std::uint64_t stream = util::mix64(
+      util::mix64(static_cast<std::uint64_t>(nodes) << 32 |
+                      static_cast<std::uint64_t>(failures),
+                  block),
+      salt);
+  util::Rng rng(seed, stream);
+  std::uint64_t successes = 0;
+  for (std::uint64_t i = 0; i < iterations; ++i) {
+    if (trial(nodes, failures, rng)) ++successes;
+  }
+  return successes;
+}
+
+template <typename Trial>
+Estimate run_estimate(std::int64_t nodes, std::int64_t failures,
+                      const EstimateOptions& options, std::uint64_t salt,
+                      Trial&& trial) {
+  const std::uint64_t block_size = options.block_size == 0 ? 4096 : options.block_size;
+  const std::uint64_t blocks = (options.iterations + block_size - 1) / block_size;
+  unsigned threads = options.threads;
+  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+  threads = static_cast<unsigned>(
+      std::min<std::uint64_t>(threads, std::max<std::uint64_t>(blocks, 1)));
+
+  auto block_iterations = [&](std::uint64_t block) {
+    const std::uint64_t start = block * block_size;
+    return std::min(block_size, options.iterations - start);
+  };
+
+  std::uint64_t successes = 0;
+  if (threads <= 1) {
+    for (std::uint64_t b = 0; b < blocks; ++b) {
+      successes += run_block(nodes, failures, options.seed, salt, b,
+                             block_iterations(b), trial);
+    }
+  } else {
+    std::atomic<std::uint64_t> next_block{0};
+    std::atomic<std::uint64_t> total{0};
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) {
+      workers.emplace_back([&] {
+        std::uint64_t local = 0;
+        while (true) {
+          const std::uint64_t b = next_block.fetch_add(1, std::memory_order_relaxed);
+          if (b >= blocks) break;
+          local += run_block(nodes, failures, options.seed, salt, b,
+                             block_iterations(b), trial);
+        }
+        total.fetch_add(local, std::memory_order_relaxed);
+      });
+    }
+    for (auto& worker : workers) worker.join();
+    successes = total.load();
+  }
+
+  Estimate estimate;
+  estimate.successes = successes;
+  estimate.trials = options.iterations;
+  estimate.p = options.iterations == 0
+                   ? 0.0
+                   : static_cast<double>(successes) /
+                         static_cast<double>(options.iterations);
+  estimate.wilson95 = util::wilson_interval(successes, options.iterations);
+  return estimate;
+}
+
+}  // namespace
+
+Estimate estimate_p_success(std::int64_t nodes, std::int64_t failures,
+                            const EstimateOptions& options) {
+  return run_estimate(nodes, failures, options, 0xB10CB10CULL,
+                      [](std::int64_t n, std::int64_t f, util::Rng& rng) {
+                        return trial_pair_connected(n, f, rng);
+                      });
+}
+
+Estimate estimate_system_success(std::int64_t nodes, std::int64_t failures,
+                                 const EstimateOptions& options) {
+  return run_estimate(nodes, failures, options, 0xA11FA125ULL,
+                      [](std::int64_t n, std::int64_t f, util::Rng& rng) {
+                        return trial_all_pairs_connected(n, f, rng);
+                      });
+}
+
+}  // namespace drs::mc

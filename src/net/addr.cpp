@@ -1,0 +1,54 @@
+#include "net/addr.hpp"
+
+#include <cstdio>
+
+namespace drs::net {
+
+std::string Ipv4Addr::to_string() const {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", (value_ >> 24) & 0xFF,
+                (value_ >> 16) & 0xFF, (value_ >> 8) & 0xFF, value_ & 0xFF);
+  return buf;
+}
+
+std::string MacAddr::to_string() const {
+  char buf[18];
+  std::snprintf(buf, sizeof buf, "%02x:%02x:%02x:%02x:%02x:%02x",
+                static_cast<unsigned>((value_ >> 40) & 0xFF),
+                static_cast<unsigned>((value_ >> 32) & 0xFF),
+                static_cast<unsigned>((value_ >> 24) & 0xFF),
+                static_cast<unsigned>((value_ >> 16) & 0xFF),
+                static_cast<unsigned>((value_ >> 8) & 0xFF),
+                static_cast<unsigned>(value_ & 0xFF));
+  return buf;
+}
+
+Ipv4Addr cluster_ip(NetworkId network, NodeId node) {
+  return Ipv4Addr::octets(10, static_cast<std::uint8_t>(network + 1), 0,
+                          static_cast<std::uint8_t>(node + 1));
+}
+
+Ipv4Addr cluster_subnet(NetworkId network) {
+  return Ipv4Addr::octets(10, static_cast<std::uint8_t>(network + 1), 0, 0);
+}
+
+bool parse_cluster_ip(Ipv4Addr ip, NetworkId& network, NodeId& node) {
+  const std::uint32_t v = ip.value();
+  if (((v >> 24) & 0xFF) != 10) return false;
+  const std::uint32_t net_octet = (v >> 16) & 0xFF;
+  if (net_octet != 1 && net_octet != 2) return false;
+  if (((v >> 8) & 0xFF) != 0) return false;
+  const std::uint32_t host_octet = v & 0xFF;
+  if (host_octet == 0) return false;
+  network = static_cast<NetworkId>(net_octet - 1);
+  node = static_cast<NodeId>(host_octet - 1);
+  return true;
+}
+
+MacAddr cluster_mac(NetworkId network, NodeId node) {
+  // Locally administered OUI 02:44:52 ("DR"), then network and node.
+  return MacAddr((0x024452ull << 24) | (std::uint64_t{network} << 16) |
+                 std::uint64_t{node});
+}
+
+}  // namespace drs::net

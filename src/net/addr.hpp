@@ -1,0 +1,87 @@
+// Addressing for the simulated cluster.
+//
+// The deployment the paper models is a closed server cluster: N dual-homed
+// hosts on two non-meshed backplanes. Addresses follow that shape — network k
+// (k = 0, 1) is the IPv4 subnet 10.(k+1).0.0/24 and node i owns host address
+// 10.(k+1).0.(i+1) on it. MACs are synthesized from (node, network).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace drs::net {
+
+/// Index of a host within the cluster (0-based).
+using NodeId = std::uint16_t;
+
+/// Index of one of the two redundant networks/backplanes.
+using NetworkId = std::uint8_t;
+
+inline constexpr NetworkId kNetworkA = 0;
+inline constexpr NetworkId kNetworkB = 1;
+inline constexpr int kNetworksPerHost = 2;
+
+class Ipv4Addr {
+ public:
+  constexpr Ipv4Addr() = default;
+  constexpr explicit Ipv4Addr(std::uint32_t value) : value_(value) {}
+  static constexpr Ipv4Addr octets(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                                   std::uint8_t d) {
+    return Ipv4Addr((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+                    (std::uint32_t{c} << 8) | std::uint32_t{d});
+  }
+
+  constexpr std::uint32_t value() const { return value_; }
+  constexpr bool is_unspecified() const { return value_ == 0; }
+  constexpr auto operator<=>(const Ipv4Addr&) const = default;
+
+  /// True iff this and `other` agree on the first `prefix_len` bits.
+  constexpr bool in_prefix(Ipv4Addr prefix, std::uint8_t prefix_len) const {
+    if (prefix_len == 0) return true;
+    const std::uint32_t mask = prefix_len >= 32
+        ? 0xFFFFFFFFu
+        : ~((std::uint32_t{1} << (32 - prefix_len)) - 1);
+    return (value_ & mask) == (prefix.value_ & mask);
+  }
+
+  std::string to_string() const;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+class MacAddr {
+ public:
+  constexpr MacAddr() = default;
+  constexpr explicit MacAddr(std::uint64_t value) : value_(value & 0xFFFFFFFFFFFFull) {}
+  static constexpr MacAddr broadcast() { return MacAddr(0xFFFFFFFFFFFFull); }
+
+  constexpr std::uint64_t value() const { return value_; }
+  constexpr bool is_broadcast() const { return value_ == 0xFFFFFFFFFFFFull; }
+  constexpr auto operator<=>(const MacAddr&) const = default;
+
+  std::string to_string() const;
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// The cluster addressing plan (see file comment).
+Ipv4Addr cluster_ip(NetworkId network, NodeId node);
+Ipv4Addr cluster_subnet(NetworkId network);
+inline constexpr std::uint8_t kClusterPrefixLen = 24;
+
+/// Inverse of cluster_ip; returns false if `ip` is not a cluster host address.
+bool parse_cluster_ip(Ipv4Addr ip, NetworkId& network, NodeId& node);
+
+MacAddr cluster_mac(NetworkId network, NodeId node);
+
+}  // namespace drs::net
+
+template <>
+struct std::hash<drs::net::Ipv4Addr> {
+  std::size_t operator()(const drs::net::Ipv4Addr& a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.value());
+  }
+};

@@ -1,0 +1,154 @@
+#include "net/backplane.hpp"
+
+#include <algorithm>
+
+namespace drs::net {
+
+Backplane::Backplane(sim::Simulator& sim, NetworkId id, Config config)
+    : sim_(sim), id_(id), config_(config), rng_(config.seed, id) {}
+
+Backplane::Backplane(sim::Simulator& sim, NetworkId id)
+    : Backplane(sim, id, Config{}) {}
+
+void Backplane::attach(Nic& nic) {
+  attached_.push_back(&nic);
+  nic.attach(*this);
+}
+
+void Backplane::set_failed(bool failed) {
+  if (failed_ == failed) return;
+  failed_ = failed;
+  // Either direction invalidates scheduled deliveries: frames in flight when
+  // the medium dies are lost, and a restored medium starts idle.
+  ++epoch_;
+  busy_until_ = sim_.now();
+  ingress_busy_.clear();
+  egress_busy_.clear();
+}
+
+util::Duration Backplane::serialization_time(const Frame& frame) const {
+  const double bytes = static_cast<double>(frame.wire_bytes() + config_.per_frame_overhead_bytes);
+  return util::Duration::from_seconds(bytes * 8.0 / config_.bits_per_second);
+}
+
+void Backplane::transmit(const Nic& sender, const Frame& frame) {
+  if (failed_) {
+    ++counters_.dropped_failed;
+    return;
+  }
+  if (config_.kind == MediumKind::kSwitch) {
+    transmit_switch(sender, frame);
+  } else {
+    transmit_hub(sender, frame);
+  }
+}
+
+void Backplane::transmit_hub(const Nic& sender, const Frame& frame) {
+  const util::SimTime now = sim_.now();
+  const util::SimTime start = std::max(now, busy_until_);
+  if (start - now > config_.max_backlog) {
+    ++counters_.dropped_backlog;
+    return;
+  }
+  const util::Duration ser = serialization_time(frame);
+  busy_until_ = start + ser;
+  busy_seconds_ += ser.to_seconds();
+  ++counters_.frames;
+  counters_.bytes += frame.wire_bytes() + config_.per_frame_overhead_bytes;
+  if (transmit_hook_) transmit_hook_(frame, sim_.now());
+
+  // Random corruption: a bad FCS is bad for every receiver on a hub, so the
+  // whole broadcast is lost at once. The medium time was still consumed.
+  if (config_.frame_loss_rate > 0.0 &&
+      rng_.next_bernoulli(config_.frame_loss_rate)) {
+    ++counters_.lost_random;
+    return;
+  }
+
+  util::SimTime arrival = busy_until_ + config_.propagation_delay;
+  if (config_.jitter > util::Duration::zero()) {
+    arrival += util::Duration::nanos(static_cast<std::int64_t>(
+        rng_.next_below(static_cast<std::uint64_t>(config_.jitter.ns()) + 1)));
+  }
+  const std::uint64_t epoch = epoch_;
+  const MacAddr sender_mac = sender.mac();
+  // Hub semantics: fan out to every attached NIC except the sender. The
+  // frame (and its shared payload) is copied once into the closure.
+  sim_.schedule_at(arrival, [this, frame, epoch, sender_mac] {
+    if (epoch != epoch_ || failed_) {
+      ++counters_.lost_in_flight;
+      return;
+    }
+    for (Nic* nic : attached_) {
+      if (nic->mac() != sender_mac) nic->deliver(frame);
+    }
+  });
+}
+
+void Backplane::transmit_switch(const Nic& sender, const Frame& frame) {
+  const util::SimTime now = sim_.now();
+  // Ingress: the frame serializes into the switch on the sender's port.
+  util::SimTime& tx_busy = ingress_busy_[sender.mac().value()];
+  const util::SimTime start = std::max(now, tx_busy);
+  if (start - now > config_.max_backlog) {
+    ++counters_.dropped_backlog;
+    return;
+  }
+  const util::Duration ser = serialization_time(frame);
+  tx_busy = start + ser;
+  busy_seconds_ += ser.to_seconds();  // aggregate ingress occupancy
+  ++counters_.frames;
+  counters_.bytes += frame.wire_bytes() + config_.per_frame_overhead_bytes;
+  if (transmit_hook_) transmit_hook_(frame, now);
+
+  if (config_.frame_loss_rate > 0.0 &&
+      rng_.next_bernoulli(config_.frame_loss_rate)) {
+    ++counters_.lost_random;
+    return;
+  }
+
+  const util::SimTime ingress_done = tx_busy + config_.propagation_delay;
+  if (frame.dst.is_broadcast()) {
+    for (Nic* nic : attached_) {
+      if (nic->mac() != sender.mac()) switch_deliver(*nic, frame, ingress_done);
+    }
+    return;
+  }
+  for (Nic* nic : attached_) {
+    if (nic->mac() == frame.dst) {
+      switch_deliver(*nic, frame, ingress_done);
+      return;
+    }
+  }
+  // Unknown destination MAC: a real switch floods; in this closed cluster it
+  // only happens for stale config, so flood like a hub would.
+  for (Nic* nic : attached_) {
+    if (nic->mac() != sender.mac()) switch_deliver(*nic, frame, ingress_done);
+  }
+}
+
+void Backplane::switch_deliver(Nic& receiver, const Frame& frame,
+                               util::SimTime ingress_done) {
+  // Egress: store-and-forward out the destination's port, subject to that
+  // port's own queue.
+  util::SimTime& rx_busy = egress_busy_[receiver.mac().value()];
+  const util::SimTime egress_start = std::max(ingress_done, rx_busy);
+  const util::Duration ser = serialization_time(frame);
+  rx_busy = egress_start + ser;
+  util::SimTime arrival = rx_busy + config_.propagation_delay;
+  if (config_.jitter > util::Duration::zero()) {
+    arrival += util::Duration::nanos(static_cast<std::int64_t>(
+        rng_.next_below(static_cast<std::uint64_t>(config_.jitter.ns()) + 1)));
+  }
+  const std::uint64_t epoch = epoch_;
+  Nic* target = &receiver;
+  sim_.schedule_at(arrival, [this, frame, epoch, target] {
+    if (epoch != epoch_ || failed_) {
+      ++counters_.lost_in_flight;
+      return;
+    }
+    target->deliver(frame);
+  });
+}
+
+}  // namespace drs::net

@@ -1,0 +1,126 @@
+// Backplane model: shared-medium hub (the paper's 1999 hardware) or a
+// store-and-forward switch (the modern extension).
+//
+// kHub — a transmission occupies the whole medium for its serialization time
+// and is then delivered to *every* other attached NIC after the propagation
+// delay (the NIC MAC filter discards frames not addressed to it). Contention
+// is FIFO serialization of the single medium. This is what makes Fig. 1's
+// shared-bandwidth-budget measurement meaningful at packet level.
+//
+// kSwitch — every NIC has its own full-duplex port. A frame serializes into
+// the switch on the sender's ingress port, then serializes out of the
+// destination's egress port (store-and-forward); each port queues
+// independently, so flows between disjoint pairs do not contend. Broadcasts
+// replicate onto every egress port. Monitoring cost per port becomes O(N)
+// instead of the hub's O(N^2) shared load — the bench_fig1 extension
+// quantifies what that buys the paper's Fig. 1.
+//
+// Either way, the backplane is one of the 2 shared failure components of the
+// survivability model: when failed it drops everything in flight and
+// everything offered.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/nic.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace drs::net {
+
+enum class MediumKind : std::uint8_t {
+  kHub,     // shared medium, half-duplex, global contention
+  kSwitch,  // per-port store-and-forward, full-duplex
+};
+
+class Backplane {
+ public:
+  struct Config {
+    MediumKind kind = MediumKind::kHub;  // the paper's clusters used hubs
+    double bits_per_second = 100e6;  // the paper evaluates a 100 Mb/s network
+    util::Duration propagation_delay = util::Duration::micros(5);
+    /// Per-frame medium overhead in addition to Frame::wire_bytes(). Default
+    /// 0 reproduces the paper's Fig. 1 anchor; set to kEthPreambleBytes +
+    /// kEthInterframeGapBytes (20) for full 802.3 accounting.
+    std::uint32_t per_frame_overhead_bytes = 0;
+    /// Transmissions whose queueing delay would exceed this are dropped,
+    /// modeling adapter backlog limits under saturation.
+    util::Duration max_backlog = util::Duration::seconds(10);
+    /// Probability that a frame is corrupted on the medium (lost for every
+    /// receiver, as on a real hub where the FCS fails everywhere). The DRS
+    /// SUSPECT state exists exactly to ride out this kind of transient loss.
+    double frame_loss_rate = 0.0;
+    /// Uniform extra delivery delay in [0, jitter] per frame (shared by all
+    /// receivers of that frame).
+    util::Duration jitter = util::Duration::zero();
+    /// Seed for the loss/jitter stream; combined with the backplane id so
+    /// the two networks draw independently.
+    std::uint64_t seed = 0xBACC91A7ull;
+  };
+
+  Backplane(sim::Simulator& sim, NetworkId id, Config config);
+  Backplane(sim::Simulator& sim, NetworkId id);
+
+  NetworkId id() const { return id_; }
+  const Config& config() const { return config_; }
+
+  void attach(Nic& nic);
+
+  bool failed() const { return failed_; }
+  /// Failing the backplane invalidates all in-flight deliveries; restoring it
+  /// starts from an idle medium.
+  void set_failed(bool failed);
+
+  /// Serializes and broadcasts `frame` from `sender` to all other NICs.
+  void transmit(const Nic& sender, const Frame& frame);
+
+  /// Seconds of medium busy time accumulated in [since, now]; used with the
+  /// wall-clock window to compute utilization for Fig. 1.
+  double busy_seconds() const { return busy_seconds_; }
+
+  struct Counters {
+    std::uint64_t frames = 0;
+    std::uint64_t bytes = 0;          // wire bytes incl. per-frame overhead
+    std::uint64_t dropped_failed = 0;  // offered while the backplane was down
+    std::uint64_t dropped_backlog = 0;
+    std::uint64_t lost_in_flight = 0;  // in flight when the backplane failed
+    std::uint64_t lost_random = 0;     // frame_loss_rate corruption
+  };
+  const Counters& counters() const { return counters_; }
+
+  /// Serialization time of one frame on this medium.
+  util::Duration serialization_time(const Frame& frame) const;
+
+  /// Observability hook invoked for every frame accepted onto the medium
+  /// (before loss is decided). Used by net::FrameTracer.
+  using TransmitHook = std::function<void(const Frame&, util::SimTime at)>;
+  void set_transmit_hook(TransmitHook hook) { transmit_hook_ = std::move(hook); }
+
+ private:
+  void transmit_hub(const Nic& sender, const Frame& frame);
+  void transmit_switch(const Nic& sender, const Frame& frame);
+  /// Schedules egress serialization + delivery to one NIC (switch path).
+  void switch_deliver(Nic& receiver, const Frame& frame, util::SimTime ingress_done);
+
+  sim::Simulator& sim_;
+  NetworkId id_;
+  Config config_;
+  std::vector<Nic*> attached_;
+  bool failed_ = false;
+  util::SimTime busy_until_ = util::SimTime::zero();
+  /// Per-port busy-until times (switch mode), keyed by NIC MAC value.
+  std::unordered_map<std::uint64_t, util::SimTime> ingress_busy_;
+  std::unordered_map<std::uint64_t, util::SimTime> egress_busy_;
+  double busy_seconds_ = 0.0;
+  /// Deliveries scheduled before the most recent failure are invalidated by
+  /// comparing against this epoch counter.
+  std::uint64_t epoch_ = 0;
+  Counters counters_;
+  util::Rng rng_;
+  TransmitHook transmit_hook_;
+};
+
+}  // namespace drs::net

@@ -1,0 +1,51 @@
+#include "net/failure.hpp"
+
+#include "util/log.hpp"
+
+namespace drs::net {
+
+FailureInjector::FailureInjector(ClusterNetwork& network) : network_(network) {}
+
+void FailureInjector::schedule(FailureAction action) {
+  network_.simulator().schedule_at(action.at, [this, action] {
+    apply_now(action.component, action.fail);
+  });
+}
+
+void FailureInjector::schedule_outage(util::SimTime at, ComponentIndex component,
+                                      util::Duration outage) {
+  schedule(FailureAction{at, component, /*fail=*/true});
+  if (outage > util::Duration::zero()) {
+    schedule(FailureAction{at + outage, component, /*fail=*/false});
+  }
+}
+
+void FailureInjector::apply_now(ComponentIndex component, bool fail) {
+  network_.set_component_failed(component, fail);
+  const auto now = network_.simulator().now();
+  log_.push_back(LogEntry{now, component, fail});
+  DRS_INFO("failure", "t=%s %s %s", util::to_string(now).c_str(),
+           fail ? "FAIL" : "RESTORE",
+           network_.component(component).to_string().c_str());
+}
+
+std::vector<ComponentIndex> FailureInjector::schedule_random_failures(
+    util::SimTime at, std::size_t count, util::Rng& rng) {
+  std::vector<std::uint32_t> picks;
+  rng.sample_distinct(network_.component_count(), count, picks);
+  std::vector<ComponentIndex> components(picks.begin(), picks.end());
+  for (ComponentIndex c : components) {
+    schedule(FailureAction{at, c, /*fail=*/true});
+  }
+  return components;
+}
+
+std::size_t FailureInjector::currently_failed() const {
+  std::size_t failed = 0;
+  for (ComponentIndex c = 0; c < network_.component_count(); ++c) {
+    if (network_.component_failed(c)) ++failed;
+  }
+  return failed;
+}
+
+}  // namespace drs::net

@@ -1,0 +1,59 @@
+// Scheduled failure injection.
+//
+// Scenarios are scripts of (time, component, fail/restore) actions applied to
+// a ClusterNetwork through the simulator, with a log of what was applied for
+// post-run assertions. This is the mechanism behind every survivability
+// experiment and the proactive-vs-reactive comparisons.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/network.hpp"
+#include "util/rng.hpp"
+
+namespace drs::net {
+
+struct FailureAction {
+  util::SimTime at;
+  ComponentIndex component = 0;
+  bool fail = true;  // false = restore
+};
+
+class FailureInjector {
+ public:
+  explicit FailureInjector(ClusterNetwork& network);
+
+  /// Schedules one action; may be called before or during the run.
+  void schedule(FailureAction action);
+
+  /// Convenience: fail at `at`, restore at `at + outage` (no restore if
+  /// outage is zero).
+  void schedule_outage(util::SimTime at, ComponentIndex component,
+                       util::Duration outage = util::Duration::zero());
+
+  /// Applies `fail`/restore immediately (bypasses the event queue).
+  void apply_now(ComponentIndex component, bool fail);
+
+  /// Draws `count` distinct components to fail at `at`, uniformly over all
+  /// 2N+2 components — exactly the survivability model's failure draw.
+  std::vector<ComponentIndex> schedule_random_failures(util::SimTime at,
+                                                       std::size_t count,
+                                                       util::Rng& rng);
+
+  struct LogEntry {
+    util::SimTime at;
+    ComponentIndex component;
+    bool fail;
+  };
+  const std::vector<LogEntry>& log() const { return log_; }
+  std::size_t currently_failed() const;
+  ClusterNetwork& network() { return network_; }
+
+ private:
+  ClusterNetwork& network_;
+  std::vector<LogEntry> log_;
+};
+
+}  // namespace drs::net

@@ -1,0 +1,34 @@
+#include "net/nic.hpp"
+
+#include "net/backplane.hpp"
+
+namespace drs::net {
+
+Nic::Nic(NodeId owner, NetworkId ifindex, MacAddr mac, Ipv4Addr ip, FrameSink& sink)
+    : owner_(owner), ifindex_(ifindex), mac_(mac), ip_(ip), sink_(sink) {}
+
+void Nic::send(const Frame& frame) {
+  if (tx_failed_ || backplane_ == nullptr) {
+    ++counters_.tx_dropped;
+    return;
+  }
+  ++counters_.tx_frames;
+  counters_.tx_bytes += frame.wire_bytes();
+  backplane_->transmit(*this, frame);
+}
+
+void Nic::deliver(const Frame& frame) {
+  if (rx_failed_) {
+    ++counters_.rx_dropped;
+    return;
+  }
+  if (!frame.dst.is_broadcast() && frame.dst != mac_) {
+    ++counters_.rx_filtered;
+    return;
+  }
+  ++counters_.rx_frames;
+  counters_.rx_bytes += frame.wire_bytes();
+  sink_.on_frame(ifindex_, frame);
+}
+
+}  // namespace drs::net

@@ -1,0 +1,85 @@
+// Network interface card model.
+//
+// A NIC is one of the 2N failure components of the survivability model: when
+// failed it neither transmits nor receives. It is attached to exactly one
+// backplane and delivers received frames up to its owning host through the
+// FrameSink interface.
+#pragma once
+
+#include <cstdint>
+
+#include "net/addr.hpp"
+#include "net/packet.hpp"
+
+namespace drs::net {
+
+class Backplane;
+
+/// Implemented by Host; receives frames that passed the NIC's MAC filter.
+class FrameSink {
+ public:
+  virtual ~FrameSink() = default;
+  virtual void on_frame(NetworkId ifindex, const Frame& frame) = 0;
+};
+
+class Nic {
+ public:
+  Nic(NodeId owner, NetworkId ifindex, MacAddr mac, Ipv4Addr ip, FrameSink& sink);
+
+  Nic(const Nic&) = delete;
+  Nic& operator=(const Nic&) = delete;
+
+  NodeId owner() const { return owner_; }
+  NetworkId ifindex() const { return ifindex_; }
+  MacAddr mac() const { return mac_; }
+  Ipv4Addr ip() const { return ip_; }
+
+  void attach(Backplane& backplane) { backplane_ = &backplane; }
+  Backplane* backplane() const { return backplane_; }
+
+  /// Full component failure (the survivability model's unit): both
+  /// directions dead.
+  bool failed() const { return tx_failed_ && rx_failed_; }
+  void set_failed(bool failed) { tx_failed_ = rx_failed_ = failed; }
+
+  /// Asymmetric degradation — a transmitter or receiver dying alone (bad
+  /// transceiver, half-broken cable). Not part of the combinatorial model,
+  /// but the DRS probe loop detects either direction: a dead TX never emits
+  /// the echo, a dead RX never hears the reply.
+  bool tx_failed() const { return tx_failed_; }
+  bool rx_failed() const { return rx_failed_; }
+  void set_tx_failed(bool failed) { tx_failed_ = failed; }
+  void set_rx_failed(bool failed) { rx_failed_ = failed; }
+
+  /// Hands the frame to the attached backplane. Silently counts a drop if
+  /// the NIC is failed or detached.
+  void send(const Frame& frame);
+
+  /// Called by the backplane on frame arrival; applies failure state and the
+  /// MAC filter before delivering to the host.
+  void deliver(const Frame& frame);
+
+  struct Counters {
+    std::uint64_t tx_frames = 0;
+    std::uint64_t tx_bytes = 0;
+    std::uint64_t rx_frames = 0;
+    std::uint64_t rx_bytes = 0;
+    std::uint64_t tx_dropped = 0;   // failed/detached at send time
+    std::uint64_t rx_dropped = 0;   // failed at delivery time
+    std::uint64_t rx_filtered = 0;  // MAC filter mismatch (normal on a hub)
+  };
+  const Counters& counters() const { return counters_; }
+
+ private:
+  NodeId owner_;
+  NetworkId ifindex_;
+  MacAddr mac_;
+  Ipv4Addr ip_;
+  FrameSink& sink_;
+  Backplane* backplane_ = nullptr;
+  bool tx_failed_ = false;
+  bool rx_failed_ = false;
+  Counters counters_;
+};
+
+}  // namespace drs::net

@@ -1,0 +1,17 @@
+#include "net/packet.hpp"
+
+namespace drs::net {
+
+const char* to_string(Protocol p) {
+  switch (p) {
+    case Protocol::kIcmp: return "icmp";
+    case Protocol::kUdp: return "udp";
+    case Protocol::kTcp: return "tcp";
+    case Protocol::kDrsControl: return "drs";
+    case Protocol::kRip: return "rip";
+    case Protocol::kOspf: return "ospf";
+  }
+  return "?";
+}
+
+}  // namespace drs::net

@@ -1,0 +1,81 @@
+// Packet and frame model.
+//
+// The simulator carries structured payloads (no byte serialization) but
+// accounts for on-wire sizes exactly, because Fig. 1 of the paper is a
+// bandwidth budget computation. Payloads are immutable and shared between the
+// frames a hub fans out, so a broadcast costs O(receivers) pointer copies.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "net/addr.hpp"
+
+namespace drs::net {
+
+/// IP protocol discriminator for handler dispatch.
+enum class Protocol : std::uint8_t {
+  kIcmp,
+  kUdp,
+  kTcp,
+  kDrsControl,  // DRS route discovery/installation messages
+  kRip,         // reactive distance-vector baseline
+  kOspf,        // reactive link-state baseline (hello + LSA)
+};
+
+const char* to_string(Protocol p);
+
+// On-wire size constants (bytes). Classic Ethernet II + IPv4 numbers — the
+// hardware generation the paper's clusters ran on.
+inline constexpr std::uint32_t kEthHeaderBytes = 14;
+inline constexpr std::uint32_t kEthFcsBytes = 4;
+inline constexpr std::uint32_t kMinEthFrameBytes = 64;   // incl. header + FCS
+inline constexpr std::uint32_t kMaxEthPayloadBytes = 1500;
+inline constexpr std::uint32_t kEthPreambleBytes = 8;    // preamble + SFD
+inline constexpr std::uint32_t kEthInterframeGapBytes = 12;
+inline constexpr std::uint32_t kIpHeaderBytes = 20;
+
+/// Base class for structured payloads. `wire_size` is the L4 size in bytes
+/// (headers of the payload's own protocol included, IP/Ethernet excluded).
+class Payload {
+ public:
+  virtual ~Payload() = default;
+  virtual std::uint32_t wire_size() const = 0;
+  /// Short human-readable rendering for traces.
+  virtual std::string describe() const = 0;
+};
+
+using PayloadPtr = std::shared_ptr<const Payload>;
+
+inline constexpr std::uint8_t kDefaultTtl = 16;
+
+struct Packet {
+  Ipv4Addr src;
+  Ipv4Addr dst;
+  Protocol protocol = Protocol::kIcmp;
+  std::uint8_t ttl = kDefaultTtl;
+  PayloadPtr payload;
+  /// Monotonic id assigned at send time; stable across forwarding hops.
+  std::uint64_t id = 0;
+
+  std::uint32_t ip_size() const {
+    return kIpHeaderBytes + (payload ? payload->wire_size() : 0);
+  }
+};
+
+struct Frame {
+  MacAddr src;
+  MacAddr dst;
+  Packet packet;
+
+  /// Total bytes occupying the medium, honoring the Ethernet minimum.
+  /// Preamble/IFG overhead is a property of the medium (see Backplane), not
+  /// of the frame.
+  std::uint32_t wire_bytes() const {
+    const std::uint32_t raw = kEthHeaderBytes + packet.ip_size() + kEthFcsBytes;
+    return raw < kMinEthFrameBytes ? kMinEthFrameBytes : raw;
+  }
+};
+
+}  // namespace drs::net

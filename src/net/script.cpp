@@ -1,0 +1,225 @@
+#include "net/script.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+namespace drs::net {
+
+namespace {
+
+/// Parses "1.5s", "200ms", "40us", "7ns" into a Duration. Returns false on
+/// malformed input.
+bool parse_duration(const std::string& token, util::Duration& out) {
+  std::size_t suffix = 0;
+  while (suffix < token.size() &&
+         (std::isdigit(static_cast<unsigned char>(token[suffix])) ||
+          token[suffix] == '.' || token[suffix] == '-')) {
+    ++suffix;
+  }
+  if (suffix == 0 || suffix == token.size()) return false;
+  double value = 0.0;
+  try {
+    value = std::stod(token.substr(0, suffix));
+  } catch (...) {
+    return false;
+  }
+  const std::string unit = token.substr(suffix);
+  double scale = 0.0;
+  if (unit == "s") {
+    scale = 1.0;
+  } else if (unit == "ms") {
+    scale = 1e-3;
+  } else if (unit == "us") {
+    scale = 1e-6;
+  } else if (unit == "ns") {
+    scale = 1e-9;
+  } else {
+    return false;
+  }
+  out = util::Duration::from_seconds(value * scale);
+  return true;
+}
+
+bool parse_component(const std::vector<std::string>& tokens, std::size_t start,
+                     std::uint16_t node_count, ComponentRef& out,
+                     std::size_t& consumed, std::string& error) {
+  if (start >= tokens.size()) {
+    error = "expected component (nic <node> <net> | backplane <net>)";
+    return false;
+  }
+  const std::string& kind = tokens[start];
+  if (kind == "nic") {
+    if (start + 2 >= tokens.size()) {
+      error = "nic needs <node> <net>";
+      return false;
+    }
+    const long node = std::strtol(tokens[start + 1].c_str(), nullptr, 10);
+    const long network = std::strtol(tokens[start + 2].c_str(), nullptr, 10);
+    if (node < 0 || node >= node_count) {
+      error = "node index out of range: " + tokens[start + 1];
+      return false;
+    }
+    if (network < 0 || network >= kNetworksPerHost) {
+      error = "network index out of range: " + tokens[start + 2];
+      return false;
+    }
+    out = ComponentRef{ComponentRef::Kind::kNic, static_cast<NodeId>(node),
+                       static_cast<NetworkId>(network)};
+    consumed = 3;
+    return true;
+  }
+  if (kind == "backplane") {
+    if (start + 1 >= tokens.size()) {
+      error = "backplane needs <net>";
+      return false;
+    }
+    const long network = std::strtol(tokens[start + 1].c_str(), nullptr, 10);
+    if (network < 0 || network >= kNetworksPerHost) {
+      error = "network index out of range: " + tokens[start + 1];
+      return false;
+    }
+    out = ComponentRef{ComponentRef::Kind::kBackplane, 0,
+                       static_cast<NetworkId>(network)};
+    consumed = 2;
+    return true;
+  }
+  error = "unknown component kind: " + kind;
+  return false;
+}
+
+ComponentIndex flat_index(const ComponentRef& ref, std::uint16_t node_count) {
+  if (ref.kind == ComponentRef::Kind::kNic) {
+    return ClusterNetwork::nic_component(ref.node, ref.network);
+  }
+  return static_cast<ComponentIndex>(2u * node_count + ref.network);
+}
+
+}  // namespace
+
+ScriptParseResult parse_failure_script(const std::string& text,
+                                       std::uint16_t node_count) {
+  ScriptParseResult result;
+  std::istringstream lines(text);
+  std::string line;
+  int line_number = 0;
+  auto fail_at = [&](const std::string& message) {
+    result.error = "line " + std::to_string(line_number) + ": " + message;
+    result.actions.clear();
+  };
+
+  while (std::getline(lines, line)) {
+    ++line_number;
+    if (auto hash = line.find('#'); hash != std::string::npos) {
+      line.erase(hash);
+    }
+    std::istringstream words(line);
+    std::vector<std::string> tokens;
+    for (std::string word; words >> word;) tokens.push_back(word);
+    if (tokens.empty()) continue;
+
+    if (tokens[0].empty() || tokens[0][0] != '@') {
+      fail_at("expected @<offset>, got '" + tokens[0] + "'");
+      return result;
+    }
+    util::Duration offset;
+    if (!parse_duration(tokens[0].substr(1), offset) ||
+        offset < util::Duration::zero()) {
+      fail_at("bad time offset '" + tokens[0] + "'");
+      return result;
+    }
+    if (tokens.size() < 2) {
+      fail_at("expected an action after the offset");
+      return result;
+    }
+
+    const std::string& verb = tokens[1];
+    ComponentRef component;
+    std::size_t consumed = 0;
+    std::string component_error;
+    if (verb == "fail" || verb == "restore") {
+      if (!parse_component(tokens, 2, node_count, component, consumed,
+                           component_error)) {
+        fail_at(component_error);
+        return result;
+      }
+      if (2 + consumed != tokens.size()) {
+        fail_at("trailing tokens after component");
+        return result;
+      }
+      result.actions.push_back(ScriptAction{offset, component, verb == "fail"});
+      continue;
+    }
+    if (verb == "flap") {
+      if (!parse_component(tokens, 2, node_count, component, consumed,
+                           component_error)) {
+        fail_at(component_error);
+        return result;
+      }
+      util::Duration period;
+      long count = -1;
+      for (std::size_t i = 2 + consumed; i < tokens.size(); ++i) {
+        const std::string& option = tokens[i];
+        if (option.rfind("period=", 0) == 0) {
+          if (!parse_duration(option.substr(7), period) ||
+              period <= util::Duration::zero()) {
+            fail_at("bad flap period '" + option + "'");
+            return result;
+          }
+        } else if (option.rfind("count=", 0) == 0) {
+          count = std::strtol(option.c_str() + 6, nullptr, 10);
+        } else {
+          fail_at("unknown flap option '" + option + "'");
+          return result;
+        }
+      }
+      if (period <= util::Duration::zero() || count <= 0) {
+        fail_at("flap requires period=<duration> and count=<n>");
+        return result;
+      }
+      for (long i = 0; i < count; ++i) {
+        const util::Duration base = offset + period * (2 * i);
+        result.actions.push_back(ScriptAction{base, component, true});
+        result.actions.push_back(ScriptAction{base + period, component, false});
+      }
+      continue;
+    }
+    fail_at("unknown action '" + verb + "'");
+    return result;
+  }
+
+  std::stable_sort(result.actions.begin(), result.actions.end(),
+                   [](const ScriptAction& a, const ScriptAction& b) {
+                     return a.at < b.at;
+                   });
+  return result;
+}
+
+void schedule_script(FailureInjector& injector,
+                     const std::vector<ScriptAction>& actions, util::SimTime base) {
+  // The injector's network defines the node count for flat indices.
+  for (const ScriptAction& action : actions) {
+    injector.schedule(FailureAction{
+        base + action.at,
+        flat_index(action.component, injector.network().node_count()),
+        action.fail});
+  }
+}
+
+std::string format_script(const std::vector<ScriptAction>& actions) {
+  std::ostringstream out;
+  for (const ScriptAction& action : actions) {
+    out << "@" << action.at.ns() << "ns " << (action.fail ? "fail" : "restore")
+        << " ";
+    if (action.component.kind == ComponentRef::Kind::kNic) {
+      out << "nic " << action.component.node << " "
+          << static_cast<int>(action.component.network);
+    } else {
+      out << "backplane " << static_cast<int>(action.component.network);
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace drs::net

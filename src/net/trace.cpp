@@ -1,0 +1,63 @@
+#include "net/trace.hpp"
+
+#include <sstream>
+
+namespace drs::net {
+
+std::string TraceRecord::to_string() const {
+  std::ostringstream out;
+  out << util::to_string(at) << " net" << static_cast<int>(network) << " "
+      << src_ip.to_string() << " > " << dst_ip.to_string() << " "
+      << drs::net::to_string(protocol) << " " << wire_bytes << "B";
+  if (!summary.empty()) out << " [" << summary << "]";
+  return out.str();
+}
+
+FrameTracer::FrameTracer(ClusterNetwork& network, std::size_t capacity)
+    : network_(network), capacity_(capacity == 0 ? 1 : capacity) {
+  for (NetworkId k = 0; k < kNetworksPerHost; ++k) {
+    network_.backplane(k).set_transmit_hook(
+        [this, k](const Frame& frame, util::SimTime at) {
+          on_frame(k, frame, at);
+        });
+  }
+}
+
+FrameTracer::~FrameTracer() {
+  for (NetworkId k = 0; k < kNetworksPerHost; ++k) {
+    network_.backplane(k).set_transmit_hook(nullptr);
+  }
+}
+
+void FrameTracer::on_frame(NetworkId network, const Frame& frame, util::SimTime at) {
+  TraceRecord record;
+  record.at = at;
+  record.network = network;
+  record.src_mac = frame.src;
+  record.dst_mac = frame.dst;
+  record.src_ip = frame.packet.src;
+  record.dst_ip = frame.packet.dst;
+  record.protocol = frame.packet.protocol;
+  record.wire_bytes = frame.wire_bytes();
+  if (frame.packet.payload) record.summary = frame.packet.payload->describe();
+  if (filter_ && !filter_(record)) return;
+  ++seen_;
+  if (records_.size() == capacity_) records_.pop_front();
+  records_.push_back(std::move(record));
+}
+
+std::vector<TraceRecord> FrameTracer::by_protocol(Protocol protocol) const {
+  std::vector<TraceRecord> matching;
+  for (const auto& record : records_) {
+    if (record.protocol == protocol) matching.push_back(record);
+  }
+  return matching;
+}
+
+std::string FrameTracer::dump() const {
+  std::ostringstream out;
+  for (const auto& record : records_) out << record.to_string() << "\n";
+  return out.str();
+}
+
+}  // namespace drs::net

@@ -1,0 +1,66 @@
+// Frame tracing: a tcpdump-style observer for the simulated media.
+//
+// Attaches to one or both backplanes and records every frame accepted onto
+// the medium (timestamp, network, MACs, IPs, protocol, size, payload
+// summary) into a bounded ring. Tests assert on protocol behaviour with it;
+// examples use it for --verbose output.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "net/network.hpp"
+
+namespace drs::net {
+
+struct TraceRecord {
+  util::SimTime at;
+  NetworkId network = 0;
+  MacAddr src_mac;
+  MacAddr dst_mac;
+  Ipv4Addr src_ip;
+  Ipv4Addr dst_ip;
+  Protocol protocol = Protocol::kIcmp;
+  std::uint32_t wire_bytes = 0;
+  std::string summary;  // Payload::describe()
+
+  std::string to_string() const;
+};
+
+class FrameTracer {
+ public:
+  /// Hooks every backplane of `network`. `capacity` bounds the ring; older
+  /// records are discarded first.
+  explicit FrameTracer(ClusterNetwork& network, std::size_t capacity = 4096);
+  ~FrameTracer();
+  FrameTracer(const FrameTracer&) = delete;
+  FrameTracer& operator=(const FrameTracer&) = delete;
+
+  /// Optional filter: only frames for which it returns true are recorded.
+  using Filter = std::function<bool(const TraceRecord&)>;
+  void set_filter(Filter filter) { filter_ = std::move(filter); }
+
+  const std::deque<TraceRecord>& records() const { return records_; }
+  std::uint64_t total_seen() const { return seen_; }
+  void clear() { records_.clear(); }
+
+  /// Records matching a protocol, in order.
+  std::vector<TraceRecord> by_protocol(Protocol protocol) const;
+
+  /// Multi-line dump of the current ring.
+  std::string dump() const;
+
+ private:
+  void on_frame(NetworkId network, const Frame& frame, util::SimTime at);
+
+  ClusterNetwork& network_;
+  std::size_t capacity_;
+  std::deque<TraceRecord> records_;
+  std::uint64_t seen_ = 0;
+  Filter filter_;
+};
+
+}  // namespace drs::net

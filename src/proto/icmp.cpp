@@ -1,0 +1,111 @@
+#include "proto/icmp.hpp"
+
+#include <cassert>
+#include <sstream>
+
+#include "util/log.hpp"
+
+namespace drs::proto {
+
+std::string IcmpPayload::describe() const {
+  std::ostringstream out;
+  out << (type == Type::kEchoRequest ? "echo-request" : "echo-reply")
+      << " ident=" << ident << " seq=" << seq;
+  return out.str();
+}
+
+IcmpService::IcmpService(net::Host& host)
+    : host_(host), ident_(static_cast<std::uint16_t>(host.id() + 1)) {
+  host_.register_handler(net::Protocol::kIcmp,
+                         [this](const net::Packet& p, net::NetworkId in_if) {
+                           on_packet(p, in_if);
+                         });
+}
+
+IcmpService::~IcmpService() {
+  for (auto& [seq, probe] : outstanding_) probe.timeout.cancel();
+}
+
+std::uint16_t IcmpService::ping(net::Ipv4Addr dst, const PingOptions& options,
+                                PingCallback done) {
+  const std::uint16_t seq = next_seq_++;
+  auto payload = std::make_shared<IcmpPayload>();
+  payload->type = IcmpPayload::Type::kEchoRequest;
+  payload->ident = ident_;
+  payload->seq = seq;
+  payload->data_bytes = options.data_bytes;
+
+  net::Packet packet;
+  packet.dst = dst;
+  packet.protocol = net::Protocol::kIcmp;
+  packet.payload = std::move(payload);
+
+  ++sent_;
+  Outstanding probe;
+  probe.done = std::move(done);
+  probe.sent_at = host_.simulator().now();
+  probe.timeout = host_.simulator().schedule_after(
+      options.timeout, [this, seq] { finish(seq, /*success=*/false); });
+  outstanding_.emplace(seq, std::move(probe));
+
+  // A locally dropped probe (failed NIC, dead backplane) still runs its
+  // timeout, so the caller always gets exactly one callback.
+  if (options.via) {
+    host_.send_via(*options.via, dst, std::move(packet));
+  } else {
+    host_.send(std::move(packet));
+  }
+  return seq;
+}
+
+bool IcmpService::cancel(std::uint16_t seq) {
+  auto it = outstanding_.find(seq);
+  if (it == outstanding_.end()) return false;
+  it->second.timeout.cancel();
+  outstanding_.erase(it);
+  return true;
+}
+
+void IcmpService::on_packet(const net::Packet& packet, net::NetworkId in_ifindex) {
+  const auto* icmp = dynamic_cast<const IcmpPayload*>(packet.payload.get());
+  if (icmp == nullptr) return;
+
+  if (icmp->type == IcmpPayload::Type::kEchoRequest) {
+    ++answered_;
+    auto reply = std::make_shared<IcmpPayload>(*icmp);
+    reply->type = IcmpPayload::Type::kEchoReply;
+
+    net::Packet out;
+    // Reply from the address that was probed so the prober can correlate the
+    // link it tested; routed normally (same subnet => same interface back).
+    // Broadcast probes get a unicast reply from the receiving interface.
+    out.src = net::is_broadcast_ip(packet.dst) ? host_.ip(in_ifindex) : packet.dst;
+    out.dst = packet.src;
+    out.protocol = net::Protocol::kIcmp;
+    out.payload = std::move(reply);
+    host_.send(std::move(out));
+    return;
+  }
+
+  // Echo reply: correlate by (ident, seq).
+  if (icmp->ident != ident_) return;
+  (void)in_ifindex;
+  finish(icmp->seq, /*success=*/true);
+}
+
+void IcmpService::finish(std::uint16_t seq, bool success) {
+  auto it = outstanding_.find(seq);
+  if (it == outstanding_.end()) return;  // late reply after timeout
+  Outstanding probe = std::move(it->second);
+  outstanding_.erase(it);
+  probe.timeout.cancel();
+  if (!success) ++timed_out_;
+
+  PingResult result;
+  result.success = success;
+  result.seq = seq;
+  result.rtt = host_.simulator().now() - probe.sent_at;
+  probe.done(result);
+}
+
+}  // namespace drs::proto

@@ -1,0 +1,85 @@
+// ICMP echo — the DRS link-check primitive (RFC 792 semantics).
+//
+// IcmpService auto-answers echo requests (the "answering requests" half of
+// the DRS two-phase run process) and offers a ping() API with per-probe
+// timeout and completion callback. Probes may be pinned to an interface,
+// which is how a DRS daemon tests one particular (network, peer) link.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+
+#include "net/host.hpp"
+
+namespace drs::proto {
+
+struct IcmpPayload final : net::Payload {
+  enum class Type : std::uint8_t { kEchoRequest, kEchoReply };
+
+  Type type = Type::kEchoRequest;
+  std::uint16_t ident = 0;
+  std::uint16_t seq = 0;
+  std::uint32_t data_bytes = 0;  // echo payload beyond the 8-byte ICMP header
+
+  std::uint32_t wire_size() const override { return 8 + data_bytes; }
+  std::string describe() const override;
+};
+
+struct PingResult {
+  bool success = false;
+  util::Duration rtt = util::Duration::zero();
+  std::uint16_t seq = 0;
+};
+
+using PingCallback = std::function<void(const PingResult&)>;
+
+struct PingOptions {
+  util::Duration timeout = util::Duration::millis(200);
+  /// Force the probe out of a specific interface (next hop = destination,
+  /// assumed on-link). Unset: normal routing.
+  std::optional<net::NetworkId> via;
+  std::uint32_t data_bytes = 0;
+};
+
+class IcmpService {
+ public:
+  explicit IcmpService(net::Host& host);
+  ~IcmpService();
+  IcmpService(const IcmpService&) = delete;
+  IcmpService& operator=(const IcmpService&) = delete;
+
+  /// Sends one echo request; the callback fires exactly once, on reply or on
+  /// timeout. Returns the sequence number used.
+  std::uint16_t ping(net::Ipv4Addr dst, const PingOptions& options, PingCallback done);
+
+  /// Cancels an outstanding probe (callback will not fire). Returns whether
+  /// a probe with that sequence number was pending.
+  bool cancel(std::uint16_t seq);
+
+  std::uint64_t echo_requests_answered() const { return answered_; }
+  std::uint64_t probes_sent() const { return sent_; }
+  std::uint64_t probes_timed_out() const { return timed_out_; }
+  std::size_t outstanding() const { return outstanding_.size(); }
+
+ private:
+  void on_packet(const net::Packet& packet, net::NetworkId in_ifindex);
+  void finish(std::uint16_t seq, bool success);
+
+  struct Outstanding {
+    PingCallback done;
+    util::SimTime sent_at;
+    sim::EventHandle timeout;
+  };
+
+  net::Host& host_;
+  std::uint16_t ident_;
+  std::uint16_t next_seq_ = 1;
+  std::unordered_map<std::uint16_t, Outstanding> outstanding_;
+  std::uint64_t answered_ = 0;
+  std::uint64_t sent_ = 0;
+  std::uint64_t timed_out_ = 0;
+};
+
+}  // namespace drs::proto

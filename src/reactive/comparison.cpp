@@ -1,0 +1,130 @@
+#include "reactive/comparison.hpp"
+
+#include <memory>
+
+#include "core/system.hpp"
+#include "proto/icmp.hpp"
+#include "sim/timer.hpp"
+
+namespace drs::reactive {
+
+const char* to_string(ProtocolKind kind) {
+  switch (kind) {
+    case ProtocolKind::kDrs: return "drs";
+    case ProtocolKind::kRip: return "rip";
+    case ProtocolKind::kOspf: return "ospf";
+    case ProtocolKind::kStatic: return "static";
+  }
+  return "?";
+}
+
+ScenarioResult run_failure_scenario(
+    const ScenarioConfig& config,
+    const std::vector<net::ComponentIndex>& failed_components) {
+  sim::Simulator simulator;
+  net::ClusterNetwork network(
+      simulator, {.node_count = config.node_count, .backplane = config.backplane});
+
+  std::unique_ptr<core::DrsSystem> drs;
+  std::unique_ptr<RipSystem> rip;
+  std::unique_ptr<OspfSystem> ospf;
+  std::vector<std::unique_ptr<proto::IcmpService>> icmp_services;
+  proto::IcmpService* observer_icmp = nullptr;
+
+  auto protocol_messages = [&]() -> std::uint64_t {
+    if (drs) return drs->total_probes_sent() + drs->total_control_messages();
+    std::uint64_t total = 0;
+    if (rip) {
+      for (net::NodeId i = 0; i < config.node_count; ++i) {
+        total += rip->daemon(i).metrics().advertisements_sent;
+      }
+    }
+    if (ospf) {
+      for (net::NodeId i = 0; i < config.node_count; ++i) {
+        const auto& m = ospf->daemon(i).metrics();
+        total += m.hellos_sent + m.lsas_originated + m.lsas_flooded;
+      }
+    }
+    return total;
+  };
+
+  if (config.protocol == ProtocolKind::kDrs) {
+    drs = std::make_unique<core::DrsSystem>(network, config.drs);
+    drs->start();
+    observer_icmp = &drs->icmp(config.observer_src);
+  } else {
+    if (config.protocol == ProtocolKind::kRip) {
+      rip = std::make_unique<RipSystem>(network, config.rip);
+      rip->start();
+    } else if (config.protocol == ProtocolKind::kOspf) {
+      ospf = std::make_unique<OspfSystem>(network, config.ospf);
+      ospf->start();
+    }
+    // Non-DRS stacks still need echo responders for the probe stream.
+    for (net::NodeId i = 0; i < config.node_count; ++i) {
+      icmp_services.push_back(
+          std::make_unique<proto::IcmpService>(network.host(i)));
+    }
+    observer_icmp = icmp_services[config.observer_src].get();
+  }
+
+  // The application stand-in: a steady probe stream between the observers.
+  struct ProbeRecord {
+    util::SimTime sent;
+    util::SimTime completed;
+    bool success = false;
+    bool done = false;
+  };
+  std::vector<ProbeRecord> records;
+  records.reserve(1u << 14);
+  const net::Ipv4Addr target =
+      net::cluster_ip(net::kNetworkA, config.observer_dst);
+  sim::PeriodicTimer probe_timer(simulator, config.app_probe_interval, [&] {
+    const std::size_t index = records.size();
+    records.push_back(ProbeRecord{simulator.now(), simulator.now(), false, false});
+    proto::PingOptions options;
+    options.timeout = config.app_probe_timeout;
+    observer_icmp->ping(target, options,
+                        [&records, index, &simulator](const proto::PingResult& r) {
+                          records[index].success = r.success;
+                          records[index].completed = simulator.now();
+                          records[index].done = true;
+                        });
+  });
+  probe_timer.start();
+
+  simulator.run_for(config.warmup);
+  const util::SimTime inject_at = simulator.now();
+  const std::uint64_t messages_before = protocol_messages();
+  for (net::ComponentIndex component : failed_components) {
+    network.set_component_failed(component, true);
+  }
+  simulator.run_for(config.measure);
+  probe_timer.stop();
+  // Let in-flight probes conclude so every record is classified.
+  simulator.run_for(config.app_probe_timeout + util::Duration::millis(10));
+
+  ScenarioResult result;
+  result.protocol_messages = protocol_messages() - messages_before;
+  for (const ProbeRecord& record : records) {
+    if (!record.done) continue;
+    if (record.sent < inject_at) {
+      if (record.success) result.healthy_before = true;
+      continue;
+    }
+    ++result.probes_total;
+    if (record.success) {
+      if (!result.recovered) {
+        result.recovered = true;
+        result.app_outage = record.completed - inject_at;
+      }
+    } else {
+      ++result.probes_lost;
+      result.last_loss_after =
+          std::max(result.last_loss_after, record.completed - inject_at);
+    }
+  }
+  return result;
+}
+
+}  // namespace drs::reactive

@@ -1,0 +1,67 @@
+// Proactive-vs-reactive comparison harness.
+//
+// Runs one failure scenario under a chosen protocol and measures what an
+// application would see: a probe stream between an observer pair records the
+// outage from failure injection to first post-failure success. This is the
+// machinery behind bench_proactive_vs_reactive and the paper's central
+// qualitative claim ("fixing network problems before they effect application
+// communication").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/config.hpp"
+#include "net/network.hpp"
+#include "reactive/ospf_lite.hpp"
+#include "reactive/rip_lite.hpp"
+#include "util/time.hpp"
+
+namespace drs::reactive {
+
+enum class ProtocolKind : std::uint8_t { kDrs, kRip, kOspf, kStatic };
+
+const char* to_string(ProtocolKind kind);
+
+struct ScenarioConfig {
+  std::uint16_t node_count = 12;
+  ProtocolKind protocol = ProtocolKind::kDrs;
+  core::DrsConfig drs;
+  RipConfig rip;
+  OspfConfig ospf;
+  net::Backplane::Config backplane;
+
+  /// Observer probe stream (application stand-in).
+  util::Duration app_probe_interval = util::Duration::millis(10);
+  util::Duration app_probe_timeout = util::Duration::millis(50);
+  net::NodeId observer_src = 0;
+  net::NodeId observer_dst = 1;
+
+  /// Let the protocol converge before injecting anything.
+  util::Duration warmup = util::Duration::seconds(2);
+  /// How long to keep measuring after the failure.
+  util::Duration measure = util::Duration::seconds(10);
+};
+
+struct ScenarioResult {
+  bool healthy_before = false;  // the pair communicated during warmup
+  bool recovered = false;       // a probe succeeded after the failure
+  /// Injection -> first successful probe completion. Infinite if never.
+  util::Duration app_outage = util::Duration::max();
+  /// Injection -> last probe loss before sustained success (0 when no probe
+  /// was ever lost, i.e. failover beat the application entirely).
+  util::Duration last_loss_after = util::Duration::zero();
+  std::uint64_t probes_lost = 0;
+  std::uint64_t probes_total = 0;
+  /// Protocol overhead observed during the run (control + monitoring
+  /// messages; 0 for static).
+  std::uint64_t protocol_messages = 0;
+};
+
+/// Injects `failed_components` simultaneously after warmup and measures the
+/// observer pair's outage under the chosen protocol.
+ScenarioResult run_failure_scenario(const ScenarioConfig& config,
+                                    const std::vector<net::ComponentIndex>& failed_components);
+
+}  // namespace drs::reactive

@@ -1,0 +1,3 @@
+// StaticRoutingSystem is header-only; this translation unit anchors the
+// library target.
+#include "reactive/static_routing.hpp"

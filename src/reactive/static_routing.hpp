@@ -1,0 +1,24 @@
+// Static routing "protocol": the do-nothing baseline.
+//
+// The cluster builder's boot-time subnet routes are all there is; failures
+// are never routed around. Exists so the comparison harness can treat
+// {DRS, RIP-lite, static} uniformly and so benches can show the no-protocol
+// floor.
+#pragma once
+
+#include "net/network.hpp"
+
+namespace drs::reactive {
+
+class StaticRoutingSystem {
+ public:
+  explicit StaticRoutingSystem(net::ClusterNetwork& network) : network_(network) {}
+  void start() {}
+  void stop() {}
+  net::ClusterNetwork& network() { return network_; }
+
+ private:
+  net::ClusterNetwork& network_;
+};
+
+}  // namespace drs::reactive

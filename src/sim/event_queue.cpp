@@ -1,0 +1,54 @@
+#include "sim/event_queue.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace drs::sim {
+
+EventId EventQueue::push(util::SimTime t, EventCallback fn) {
+  const EventId id = next_id_++;
+  heap_.push_back(Entry{t, id, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  pending_.insert(id);
+  ++live_;
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  // An id is cancellable iff it is still pending (scheduled, not yet executed,
+  // not yet cancelled). The physical heap entry stays behind as a tombstone
+  // and is skipped at pop time.
+  if (pending_.erase(id) == 0) return false;
+  cancelled_.insert(id);
+  --live_;
+  return true;
+}
+
+void EventQueue::skip_tombstones() {
+  while (!heap_.empty() && cancelled_.count(heap_.front().id) > 0) {
+    cancelled_.erase(heap_.front().id);
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
+  }
+}
+
+util::SimTime EventQueue::next_time() const {
+  // Tombstone compaction does not change observable contents, so it is safe
+  // to perform from a const accessor.
+  auto* self = const_cast<EventQueue*>(this);
+  self->skip_tombstones();
+  return heap_.empty() ? util::SimTime::max() : heap_.front().time;
+}
+
+EventQueue::Popped EventQueue::pop() {
+  skip_tombstones();
+  assert(!heap_.empty());
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Entry e = std::move(heap_.back());
+  heap_.pop_back();
+  pending_.erase(e.id);
+  --live_;
+  return Popped{e.time, e.id, std::move(e.fn)};
+}
+
+}  // namespace drs::sim

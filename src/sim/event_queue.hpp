@@ -1,0 +1,75 @@
+// Pending-event set for the discrete-event engine.
+//
+// A binary min-heap ordered by (time, sequence number). The sequence number
+// makes ordering of same-timestamp events FIFO and therefore deterministic —
+// protocol races (e.g. two ROUTE_OFFERs arriving in the same tick) resolve
+// identically on every run. Cancellation is O(1) via tombstoning: cancelled
+// entries are skipped at pop time and compacted when they dominate the heap.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace drs::sim {
+
+using EventCallback = std::function<void()>;
+using EventId = std::uint64_t;
+
+inline constexpr EventId kInvalidEventId = 0;
+
+class EventQueue {
+ public:
+  /// Schedules `fn` at absolute time `t`; returns a cancellation id.
+  EventId push(util::SimTime t, EventCallback fn);
+
+  /// Cancels a pending event. Returns false if the id is unknown, already
+  /// executed, or already cancelled.
+  bool cancel(EventId id);
+
+  bool empty() const { return live_ == 0; }
+  std::size_t size() const { return live_; }
+
+  /// Time of the earliest live event; SimTime::max() when empty.
+  util::SimTime next_time() const;
+
+  struct Popped {
+    util::SimTime time;
+    EventId id = kInvalidEventId;
+    EventCallback fn;
+  };
+  /// Removes and returns the earliest live event. Precondition: !empty().
+  Popped pop();
+
+  std::uint64_t total_scheduled() const { return next_id_ - 1; }
+
+  /// True iff the id is scheduled and neither executed nor cancelled.
+  bool is_pending(EventId id) const { return pending_.count(id) > 0; }
+
+ private:
+  struct Entry {
+    util::SimTime time;
+    EventId id;
+    EventCallback fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      // std::push_heap builds a max-heap, so "greater" means lower priority.
+      if (a.time != b.time) return a.time > b.time;
+      return a.id > b.id;  // ids are monotonically increasing => FIFO ties
+    }
+  };
+
+  void skip_tombstones();
+
+  std::vector<Entry> heap_;
+  std::unordered_set<EventId> pending_;    // scheduled, not executed/cancelled
+  std::unordered_set<EventId> cancelled_;  // tombstones still in heap_
+  std::size_t live_ = 0;
+  EventId next_id_ = 1;
+};
+
+}  // namespace drs::sim

@@ -1,0 +1,65 @@
+// The discrete-event simulator: a monotonic clock plus the event queue.
+//
+// Single-threaded by design — determinism is the property everything above
+// (protocol validation, Monte-Carlo replay) depends on. Parallelism in this
+// project happens *across* independent simulations (see drs::mc), never
+// inside one.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/event_queue.hpp"
+#include "util/time.hpp"
+
+namespace drs::sim {
+
+/// RAII cancellation token for a scheduled event. Default-constructed (or
+/// fired) handles are inert. Non-owning of the simulator.
+class EventHandle {
+ public:
+  EventHandle() = default;
+  EventHandle(class Simulator* sim, EventId id) : sim_(sim), id_(id) {}
+
+  bool pending() const;
+  /// Cancels if still pending; returns whether a cancellation happened.
+  bool cancel();
+  void release() { sim_ = nullptr; id_ = kInvalidEventId; }
+
+ private:
+  class Simulator* sim_ = nullptr;
+  EventId id_ = kInvalidEventId;
+};
+
+class Simulator {
+ public:
+  util::SimTime now() const { return now_; }
+
+  /// Schedules at an absolute time; `t` must not be in the past.
+  EventHandle schedule_at(util::SimTime t, EventCallback fn);
+  /// Schedules `delay` after now; negative delays are clamped to zero.
+  EventHandle schedule_after(util::Duration delay, EventCallback fn);
+
+  bool cancel(EventId id) { return queue_.cancel(id); }
+  bool is_pending(EventId id) const;
+
+  /// Runs events with time <= deadline, then advances the clock to the
+  /// deadline. Returns the number of events executed.
+  std::uint64_t run_until(util::SimTime deadline);
+  std::uint64_t run_for(util::Duration d) { return run_until(now_ + d); }
+  /// Drains the queue completely (use only when event chains terminate).
+  std::uint64_t run();
+  /// Executes exactly one event if any is pending; returns whether one ran.
+  bool step();
+
+  bool idle() const { return queue_.empty(); }
+  std::size_t pending_events() const { return queue_.size(); }
+  std::uint64_t executed_events() const { return executed_; }
+
+ private:
+  util::SimTime now_ = util::SimTime::zero();
+  EventQueue queue_;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace drs::sim

@@ -1,0 +1,35 @@
+#include "sim/timer.hpp"
+
+#include <cassert>
+
+namespace drs::sim {
+
+PeriodicTimer::PeriodicTimer(Simulator& sim, util::Duration period,
+                             std::function<void()> on_tick)
+    : sim_(sim), period_(period), on_tick_(std::move(on_tick)) {
+  assert(period_ > util::Duration::zero());
+}
+
+void PeriodicTimer::start(util::Duration initial_delay) {
+  if (running_) return;
+  running_ = true;
+  arm(initial_delay);
+}
+
+void PeriodicTimer::stop() {
+  running_ = false;
+  pending_.cancel();
+}
+
+void PeriodicTimer::arm(util::Duration delay) {
+  pending_ = sim_.schedule_after(delay, [this] {
+    if (!running_) return;
+    ++ticks_;
+    // Re-arm before the tick so the callback may call stop() (and even
+    // start() again) without racing the reschedule.
+    arm(period_);
+    on_tick_();
+  });
+}
+
+}  // namespace drs::sim

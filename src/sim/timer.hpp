@@ -1,0 +1,45 @@
+// Periodic timer built on the simulator.
+//
+// DRS daemons, RIP advertisement loops and workload generators all run off
+// periodic ticks; this wrapper owns the rescheduling and guarantees that
+// stop() prevents any further tick, even one already due at the current time.
+#pragma once
+
+#include <functional>
+
+#include "sim/simulator.hpp"
+
+namespace drs::sim {
+
+class PeriodicTimer {
+ public:
+  /// The callback runs every `period`, first at now + initial_delay.
+  /// Inactive until start() is called.
+  PeriodicTimer(Simulator& sim, util::Duration period, std::function<void()> on_tick);
+
+  ~PeriodicTimer() { stop(); }
+  PeriodicTimer(const PeriodicTimer&) = delete;
+  PeriodicTimer& operator=(const PeriodicTimer&) = delete;
+
+  void start(util::Duration initial_delay = util::Duration::zero());
+  void stop();
+  bool running() const { return running_; }
+
+  util::Duration period() const { return period_; }
+  /// Takes effect from the next rescheduling.
+  void set_period(util::Duration period) { period_ = period; }
+
+  std::uint64_t ticks() const { return ticks_; }
+
+ private:
+  void arm(util::Duration delay);
+
+  Simulator& sim_;
+  util::Duration period_;
+  std::function<void()> on_tick_;
+  EventHandle pending_;
+  bool running_ = false;
+  std::uint64_t ticks_ = 0;
+};
+
+}  // namespace drs::sim

@@ -1,0 +1,68 @@
+#include "util/flags.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace drs::util {
+
+std::optional<Flags> Flags::parse(
+    int argc, const char* const* argv,
+    const std::map<std::string, std::string>& allowed) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected positional argument: %s\n", arg.c_str());
+      return std::nullopt;
+    }
+    arg = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (auto eq = arg.find('='); eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      has_value = true;
+    }
+    if (arg == "help") {
+      flags.help_ = true;
+      std::printf("options:\n");
+      for (const auto& [name, help] : allowed) {
+        std::printf("  --%-20s %s\n", name.c_str(), help.c_str());
+      }
+      continue;
+    }
+    if (allowed.find(arg) == allowed.end()) {
+      std::fprintf(stderr, "unknown flag: --%s (try --help)\n", arg.c_str());
+      return std::nullopt;
+    }
+    if (!has_value && i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      value = argv[++i];
+      has_value = true;
+    }
+    flags.values_[arg] = has_value ? value : "true";
+  }
+  return flags;
+}
+
+std::string Flags::get_string(const std::string& name, std::string fallback) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t Flags::get_int(const std::string& name, std::int64_t fallback) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? fallback : std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Flags::get_double(const std::string& name, double fallback) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? fallback : std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Flags::get_bool(const std::string& name, bool fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+}  // namespace drs::util

@@ -1,0 +1,101 @@
+#include "util/rng.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace drs::util {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t mix64(std::uint64_t a, std::uint64_t b) {
+  // Feed both words through SplitMix64 so nearby (seed, stream) pairs yield
+  // uncorrelated states.
+  std::uint64_t state = a;
+  std::uint64_t h = splitmix64(state);
+  state ^= b + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+  return splitmix64(state);
+}
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = splitmix64(sm);
+}
+
+Rng::Rng(std::uint64_t seed, std::uint64_t stream) : Rng(mix64(seed, stream)) {}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::next_double() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  assert(bound > 0);
+  // Lemire's nearly-divisionless method.
+  std::uint64_t x = next_u64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (lo < threshold) {
+      x = next_u64();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::next_int(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(next_below(span));
+}
+
+bool Rng::next_bernoulli(double p) { return next_double() < p; }
+
+double Rng::next_exponential(double mean) {
+  assert(mean > 0);
+  // 1 - U in (0, 1] avoids log(0).
+  return -mean * std::log1p(-next_double());
+}
+
+void Rng::sample_distinct(std::uint64_t n, std::size_t k, std::vector<std::uint32_t>& out) {
+  assert(k <= n);
+  out.clear();
+  out.reserve(k);
+  // Floyd's algorithm: O(k) draws, exact uniformity over k-subsets.
+  for (std::uint64_t j = n - k; j < n; ++j) {
+    const auto t = static_cast<std::uint32_t>(next_below(j + 1));
+    if (std::find(out.begin(), out.end(), t) == out.end()) {
+      out.push_back(t);
+    } else {
+      out.push_back(static_cast<std::uint32_t>(j));
+    }
+  }
+  std::sort(out.begin(), out.end());
+}
+
+}  // namespace drs::util

@@ -1,0 +1,68 @@
+// Deterministic pseudo-random number generation.
+//
+// The survivability experiments must be reproducible bit-for-bit regardless of
+// thread count, so every stream is derived from a (master seed, stream id)
+// pair via SplitMix64 and generated with xoshiro256** — a small, fast,
+// well-tested generator suitable for Monte-Carlo work. We deliberately avoid
+// std::mt19937 + std::uniform_*_distribution because the standard leaves
+// distribution algorithms implementation-defined, which would make results
+// differ across standard libraries.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace drs::util {
+
+/// SplitMix64 step; used for seeding and for hashing stream ids.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// Stateless mix of two 64-bit values into one (for (seed, stream) → substream
+/// derivation). Order-sensitive: mix(a, b) != mix(b, a) in general.
+std::uint64_t mix64(std::uint64_t a, std::uint64_t b);
+
+/// xoshiro256** 1.0 (Blackman & Vigna), wrapped with convenience samplers.
+class Rng {
+ public:
+  /// Seeds the full 256-bit state from a single 64-bit seed via SplitMix64.
+  explicit Rng(std::uint64_t seed = 0xD5517E57DEFAULL);
+  /// Derives an independent stream: equivalent to Rng(mix64(seed, stream)).
+  Rng(std::uint64_t seed, std::uint64_t stream);
+
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, 1) with 53 bits of precision.
+  double next_double();
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire rejection).
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive; requires lo <= hi.
+  std::int64_t next_int(std::int64_t lo, std::int64_t hi);
+
+  bool next_bernoulli(double p);
+
+  /// Exponentially distributed with the given mean (> 0).
+  double next_exponential(double mean);
+
+  /// Samples k distinct values from {0, 1, ..., n-1} using Floyd's algorithm.
+  /// The result is written in ascending order. Requires k <= n.
+  void sample_distinct(std::uint64_t n, std::size_t k, std::vector<std::uint32_t>& out);
+
+  /// Fisher-Yates shuffle of an index span.
+  template <typename T>
+  void shuffle(std::span<T> items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(next_below(i));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+};
+
+}  // namespace drs::util

@@ -1,0 +1,60 @@
+// Aligned text / CSV table rendering for the benchmark harnesses.
+//
+// Every figure-regeneration bench prints its series through this writer so
+// output is uniform and machine-parsable (`--csv` in the benches switches the
+// same data to CSV).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace drs::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats arithmetic values with `format_cell`.
+  template <typename... Ts>
+  void add(const Ts&... values) {
+    add_row({format_cell(values)...});
+  }
+
+  std::size_t rows() const { return rows_.size(); }
+  const std::vector<std::string>& row(std::size_t i) const { return rows_.at(i); }
+
+  /// Right-aligned fixed-width text rendering with a header rule.
+  std::string to_text() const;
+  std::string to_csv() const;
+
+  static std::string format_cell(const std::string& s) { return s; }
+  static std::string format_cell(const char* s) { return s; }
+  static std::string format_cell(double v);
+  static std::string format_cell(int v) { return std::to_string(v); }
+  static std::string format_cell(long v) { return std::to_string(v); }
+  static std::string format_cell(long long v) { return std::to_string(v); }
+  static std::string format_cell(unsigned v) { return std::to_string(v); }
+  static std::string format_cell(unsigned long v) { return std::to_string(v); }
+  static std::string format_cell(unsigned long long v) { return std::to_string(v); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` significant decimals, trimming trailing
+/// zeros ("0.990000" -> "0.99", "1200.0" -> "1200").
+std::string format_double(double v, int digits = 6);
+
+/// Writes the table as CSV to `<dir>/<name>.csv`, where dir comes from the
+/// DRSNET_BENCH_OUT environment variable (default "bench_results"; empty
+/// string disables export). Creates the directory if needed. Returns the
+/// path written, or empty on disable/failure. The figure benches call this
+/// for every printed table so runs leave plottable artifacts behind.
+std::string export_table_csv(const std::string& name, const Table& table);
+
+}  // namespace drs::util

@@ -1,0 +1,96 @@
+// Strong simulation-time types.
+//
+// All simulator timestamps are integer nanoseconds so that event ordering is
+// exact and runs are bit-reproducible across platforms (no floating-point
+// clock drift). `Duration` is a signed span; `SimTime` is a point on the
+// simulation clock. Arithmetic between them follows the usual affine rules:
+// point - point = span, point + span = point, span +/- span = span.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <limits>
+#include <string>
+
+namespace drs::util {
+
+class Duration {
+ public:
+  constexpr Duration() = default;
+  static constexpr Duration nanos(std::int64_t n) { return Duration(n); }
+  static constexpr Duration micros(std::int64_t n) { return Duration(n * 1'000); }
+  static constexpr Duration millis(std::int64_t n) { return Duration(n * 1'000'000); }
+  static constexpr Duration seconds(std::int64_t n) { return Duration(n * 1'000'000'000); }
+  /// Converts a floating-point second count, rounding to the nearest tick.
+  static constexpr Duration from_seconds(double s) {
+    return Duration(static_cast<std::int64_t>(s * 1e9 + (s >= 0 ? 0.5 : -0.5)));
+  }
+  static constexpr Duration zero() { return Duration(0); }
+  static constexpr Duration max() {
+    return Duration(std::numeric_limits<std::int64_t>::max());
+  }
+
+  constexpr std::int64_t ns() const { return ns_; }
+  constexpr double to_seconds() const { return static_cast<double>(ns_) * 1e-9; }
+  constexpr double to_millis() const { return static_cast<double>(ns_) * 1e-6; }
+  constexpr double to_micros() const { return static_cast<double>(ns_) * 1e-3; }
+
+  constexpr auto operator<=>(const Duration&) const = default;
+  constexpr Duration operator+(Duration o) const { return Duration(ns_ + o.ns_); }
+  constexpr Duration operator-(Duration o) const { return Duration(ns_ - o.ns_); }
+  constexpr Duration operator-() const { return Duration(-ns_); }
+  constexpr Duration operator*(std::int64_t k) const { return Duration(ns_ * k); }
+  constexpr Duration operator/(std::int64_t k) const { return Duration(ns_ / k); }
+  constexpr Duration& operator+=(Duration o) { ns_ += o.ns_; return *this; }
+  constexpr Duration& operator-=(Duration o) { ns_ -= o.ns_; return *this; }
+
+ private:
+  constexpr explicit Duration(std::int64_t n) : ns_(n) {}
+  std::int64_t ns_ = 0;
+};
+
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  static constexpr SimTime from_ns(std::int64_t n) { return SimTime(n); }
+  static constexpr SimTime zero() { return SimTime(0); }
+  static constexpr SimTime max() {
+    return SimTime(std::numeric_limits<std::int64_t>::max());
+  }
+
+  constexpr std::int64_t ns() const { return ns_; }
+  constexpr double to_seconds() const { return static_cast<double>(ns_) * 1e-9; }
+
+  constexpr auto operator<=>(const SimTime&) const = default;
+  constexpr SimTime operator+(Duration d) const { return SimTime(ns_ + d.ns()); }
+  constexpr SimTime operator-(Duration d) const { return SimTime(ns_ - d.ns()); }
+  constexpr Duration operator-(SimTime o) const { return Duration::nanos(ns_ - o.ns_); }
+  constexpr SimTime& operator+=(Duration d) { ns_ += d.ns(); return *this; }
+
+ private:
+  constexpr explicit SimTime(std::int64_t n) : ns_(n) {}
+  std::int64_t ns_ = 0;
+};
+
+constexpr Duration operator*(std::int64_t k, Duration d) { return d * k; }
+
+namespace literals {
+constexpr Duration operator""_ns(unsigned long long n) {
+  return Duration::nanos(static_cast<std::int64_t>(n));
+}
+constexpr Duration operator""_us(unsigned long long n) {
+  return Duration::micros(static_cast<std::int64_t>(n));
+}
+constexpr Duration operator""_ms(unsigned long long n) {
+  return Duration::millis(static_cast<std::int64_t>(n));
+}
+constexpr Duration operator""_s(unsigned long long n) {
+  return Duration::seconds(static_cast<std::int64_t>(n));
+}
+}  // namespace literals
+
+/// Human-readable rendering with an adaptive unit, e.g. "1.500 ms".
+std::string to_string(Duration d);
+std::string to_string(SimTime t);
+
+}  // namespace drs::util

@@ -1,0 +1,135 @@
+// Time-domain availability: the MTBF/MTTR bridge to Equation 1 and its
+// renewal-process Monte-Carlo validation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analytic/availability.hpp"
+#include "analytic/survivability.hpp"
+#include "montecarlo/time_availability.hpp"
+
+namespace drs::analytic {
+namespace {
+
+TEST(Reliability, SteadyStateQ) {
+  ComponentReliability r;
+  r.mtbf_seconds = 99.0;
+  r.mttr_seconds = 1.0;
+  EXPECT_DOUBLE_EQ(r.steady_state_q(), 0.01);
+  ComponentReliability always_broken;
+  always_broken.mtbf_seconds = 1.0;
+  always_broken.mttr_seconds = 1.0;
+  EXPECT_DOUBLE_EQ(always_broken.steady_state_q(), 0.5);
+}
+
+TEST(PairAvailability, MatchesUnconditionalModel) {
+  ComponentReliability r;
+  r.mtbf_seconds = 1000.0;
+  r.mttr_seconds = 10.0;
+  EXPECT_DOUBLE_EQ(pair_availability(12, r),
+                   p_success_unconditional(12, r.steady_state_q()));
+}
+
+TEST(PairAvailability, BetterHardwareBetterService) {
+  ComponentReliability good, bad;
+  good.mtbf_seconds = 1e6;
+  good.mttr_seconds = 100.0;
+  bad.mtbf_seconds = 1e4;
+  bad.mttr_seconds = 100.0;
+  EXPECT_GT(pair_availability(8, good), pair_availability(8, bad));
+}
+
+TEST(PairAvailability, DrsBeatsSingleNetworkBaseline) {
+  // The redundancy argument: at any realistic q the dual-network DRS system
+  // dominates a single-network system with the same component quality.
+  for (double mtbf : {1e4, 1e5, 1e6}) {
+    ComponentReliability r;
+    r.mtbf_seconds = mtbf;
+    r.mttr_seconds = 600.0;
+    EXPECT_GT(pair_availability(8, r), single_network_pair_availability(r))
+        << "mtbf=" << mtbf;
+  }
+}
+
+TEST(PairAvailability, FaultToleranceGainIsQuadratic) {
+  // With redundancy, pair unavailability should scale ~q^2 (two independent
+  // things must break), vs ~3q for the single-network baseline.
+  ComponentReliability r;
+  r.mtbf_seconds = 1e6;
+  r.mttr_seconds = 1e3;  // q ~ 1e-3
+  const double q = r.steady_state_q();
+  const double drs_unavail = 1.0 - pair_availability(16, r);
+  const double single_unavail = 1.0 - single_network_pair_availability(r);
+  EXPECT_LT(drs_unavail, 10 * q * q);       // ~ O(q^2)
+  EXPECT_GT(single_unavail, 2.9 * q * 0.9); // ~ 3q
+}
+
+TEST(AnnualDowntime, ScalesWithUnavailability) {
+  ComponentReliability r;
+  r.mtbf_seconds = 30.0 * 24 * 3600;
+  r.mttr_seconds = 4.0 * 3600;
+  const util::Duration downtime = expected_annual_pair_downtime(10, r);
+  EXPECT_GT(downtime, util::Duration::zero());
+  // q ~ 0.0055; unavailability ~ O(q^2) ~ 3e-4 => well under a week.
+  EXPECT_LT(downtime, util::Duration::seconds(7 * 24 * 3600));
+  // And a perfect component never costs downtime.
+  ComponentReliability perfect;
+  perfect.mttr_seconds = 0.0;
+  EXPECT_EQ(expected_annual_pair_downtime(10, perfect), util::Duration::zero());
+}
+
+// --- Renewal-process validation -------------------------------------------------
+
+TEST(TimeAvailability, ConvergesToSteadyStateModel) {
+  mc::TimeAvailabilityOptions options;
+  options.nodes = 6;
+  options.reliability.mtbf_seconds = 1000.0;
+  options.reliability.mttr_seconds = 100.0;  // q ~ 0.0909: failures are common
+  options.horizon_seconds = 4e6;
+  options.sample_period_seconds = 40.0;
+  const auto result = mc::simulate_time_availability(options);
+  ASSERT_GT(result.samples, 50000u);
+  const double expected = pair_availability(6, options.reliability);
+  EXPECT_NEAR(result.availability, expected, 0.005)
+      << "wilson [" << result.wilson95.lo << ", " << result.wilson95.hi << "]";
+}
+
+TEST(TimeAvailability, AnyDownFractionMatchesBinomial) {
+  mc::TimeAvailabilityOptions options;
+  options.nodes = 4;
+  options.reliability.mtbf_seconds = 500.0;
+  options.reliability.mttr_seconds = 50.0;
+  options.horizon_seconds = 2e6;
+  options.sample_period_seconds = 25.0;
+  const auto result = mc::simulate_time_availability(options);
+  const double q = options.reliability.steady_state_q();
+  const double expected =
+      1.0 - std::pow(1.0 - q, static_cast<double>(component_count(4)));
+  EXPECT_NEAR(result.any_component_down, expected, 0.01);
+}
+
+TEST(TimeAvailability, DeterministicPerSeed) {
+  mc::TimeAvailabilityOptions options;
+  options.horizon_seconds = 1e5;
+  // Failure-heavy components so the seed visibly matters within the horizon.
+  options.reliability.mtbf_seconds = 300.0;
+  options.reliability.mttr_seconds = 100.0;
+  const auto a = mc::simulate_time_availability(options);
+  const auto b = mc::simulate_time_availability(options);
+  EXPECT_EQ(a.connected, b.connected);
+  options.seed += 1;
+  const auto c = mc::simulate_time_availability(options);
+  EXPECT_NE(a.connected, c.connected);
+}
+
+TEST(TimeAvailability, PerfectComponentsAlwaysConnected) {
+  mc::TimeAvailabilityOptions options;
+  options.reliability.mtbf_seconds = 1e18;  // never fails within horizon
+  options.horizon_seconds = 1e4;
+  const auto result = mc::simulate_time_availability(options);
+  EXPECT_EQ(result.connected, result.samples);
+  EXPECT_DOUBLE_EQ(result.any_component_down, 0.0);
+}
+
+}  // namespace
+}  // namespace drs::analytic

@@ -1,0 +1,169 @@
+// Extensions beyond the paper's figures: the unconditional q-model (the
+// paper's framing for Equation 1) and system-wide (all live pairs)
+// survivability.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analytic/enumerate.hpp"
+#include "analytic/survivability.hpp"
+#include "montecarlo/estimator.hpp"
+
+namespace drs::analytic {
+namespace {
+
+// --- failure_count_pmf -------------------------------------------------------
+
+TEST(FailurePmf, SumsToOne) {
+  for (std::int64_t n : {2, 8, 32, 64}) {
+    for (double q : {0.001, 0.01, 0.1, 0.5}) {
+      double total = 0.0;
+      for (std::int64_t f = 0; f <= component_count(n); ++f) {
+        total += failure_count_pmf(n, f, q);
+      }
+      EXPECT_NEAR(total, 1.0, 1e-9) << "n=" << n << " q=" << q;
+    }
+  }
+}
+
+TEST(FailurePmf, DegenerateEndpoints) {
+  EXPECT_DOUBLE_EQ(failure_count_pmf(8, 0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(failure_count_pmf(8, 3, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(failure_count_pmf(8, component_count(8), 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(failure_count_pmf(8, 0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(failure_count_pmf(8, -1, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(failure_count_pmf(8, 99, 0.5), 0.0);
+}
+
+TEST(FailurePmf, MeanMatchesBinomial) {
+  const std::int64_t n = 16;
+  const double q = 0.07;
+  double mean = 0.0;
+  for (std::int64_t f = 0; f <= component_count(n); ++f) {
+    mean += static_cast<double>(f) * failure_count_pmf(n, f, q);
+  }
+  EXPECT_NEAR(mean, q * static_cast<double>(component_count(n)), 1e-9);
+}
+
+TEST(FailurePmf, MultipleFailuresDecayExponentially) {
+  // The paper: "the probability of multiple failures in a system decreases
+  // exponentially" (q^f scaling). Check successive ratios are ~O(q).
+  const std::int64_t n = 12;
+  const double q = 0.01;
+  for (std::int64_t f = 1; f <= 4; ++f) {
+    const double ratio =
+        failure_count_pmf(n, f + 1, q) / failure_count_pmf(n, f, q);
+    EXPECT_LT(ratio, 3.0 * q * static_cast<double>(component_count(n)));
+    EXPECT_GT(ratio, 0.0);
+  }
+}
+
+// --- unconditional success ----------------------------------------------------
+
+TEST(Unconditional, PerfectComponentsPerfectService) {
+  EXPECT_DOUBLE_EQ(p_success_unconditional(8, 0.0), 1.0);
+}
+
+TEST(Unconditional, CertainFailureKillsService) {
+  EXPECT_NEAR(p_success_unconditional(8, 1.0), 0.0, 1e-12);
+}
+
+TEST(Unconditional, MonotoneDecreasingInQ) {
+  double previous = 1.1;
+  for (double q : {0.0, 0.01, 0.05, 0.1, 0.2, 0.5, 0.9}) {
+    const double p = p_success_unconditional(16, q);
+    EXPECT_LT(p, previous);
+    EXPECT_GE(p, 0.0);
+    previous = p;
+  }
+}
+
+TEST(Unconditional, LargerClustersSurviveSmallQBetter) {
+  // At small q, more nodes = more relays; the pair criterion improves.
+  const double q = 0.02;
+  EXPECT_GT(p_success_unconditional(32, q), p_success_unconditional(4, q));
+}
+
+TEST(Unconditional, MatchesDirectBernoulliEnumeration) {
+  // Small system: enumerate all 2^(2N+2) component states directly.
+  const std::int64_t n = 3;
+  const std::int64_t m = component_count(n);  // 8 components
+  const double q = 0.13;
+  double expected = 0.0;
+  for (std::uint64_t mask = 0; mask < (1ull << m); ++mask) {
+    ComponentSet failed;
+    for (std::int64_t c = 0; c < m; ++c) {
+      if ((mask >> c) & 1u) failed.set(c);
+    }
+    const int bits = __builtin_popcountll(mask);
+    const double weight = std::pow(q, bits) *
+                          std::pow(1.0 - q, static_cast<double>(m - bits));
+    if (pair_connected(n, failed, 0, 1)) expected += weight;
+  }
+  EXPECT_NEAR(p_success_unconditional(n, q), expected, 1e-12);
+}
+
+// --- all-pairs (system-wide) criterion ----------------------------------------
+
+TEST(AllPairs, StricterThanPairWhenEndpointsAlive) {
+  // The two criteria are NOT comparable in general: the all-pairs criterion
+  // excludes fully dead hosts (vacuous success possible where the designated
+  // pair fails because an endpoint died). Conditioned on both designated
+  // endpoints being network-alive, all-pairs IS the stricter event.
+  for (std::int64_t n : {3, 4, 5}) {
+    for (std::int64_t f = 0; f <= std::min<std::int64_t>(6, component_count(n)); ++f) {
+      u128 all_pairs_and_alive = 0;
+      u128 pair_ok = 0;
+      for_each_subset(component_count(n), f, [&](const ComponentSet& failed) {
+        const bool a_alive = !failed.test(0) || !failed.test(1);
+        const bool b_alive = !failed.test(2) || !failed.test(3);
+        if (pair_connected(n, failed, 0, 1)) ++pair_ok;
+        if (a_alive && b_alive && all_live_pairs_connected(n, failed)) {
+          ++all_pairs_and_alive;
+        }
+      });
+      EXPECT_LE(all_pairs_and_alive, pair_ok) << "n=" << n << " f=" << f;
+      EXPECT_EQ(pair_ok, success_count(n, f));  // incidental re-validation
+    }
+  }
+}
+
+TEST(AllPairs, CanExceedPairCriterionViaDeadHostExclusion) {
+  // Demonstrate the incomparability: with N=3 and many failures, killing an
+  // endpoint outright makes the pair criterion fail while the rest of the
+  // (smaller) system stays consistent.
+  EXPECT_GT(p_all_pairs_success(3, 5), p_success(3, 5));
+}
+
+TEST(AllPairs, TrivialCases) {
+  EXPECT_DOUBLE_EQ(p_all_pairs_success(4, 0), 1.0);
+  EXPECT_DOUBLE_EQ(p_all_pairs_success(4, 1), 1.0);  // f=1 cannot cut anyone
+}
+
+TEST(AllPairs, McEstimatorAgreesWithEnumeration) {
+  mc::EstimateOptions options;
+  options.iterations = 40000;
+  options.seed = 321;
+  for (auto [n, f] : {std::pair<std::int64_t, std::int64_t>{5, 3}, {6, 4}}) {
+    const double exact = p_all_pairs_success(n, f);
+    const auto estimate = mc::estimate_system_success(n, f, options);
+    const double slack = 1.5 * estimate.wilson95.width() / 2;
+    EXPECT_NEAR(estimate.p, exact, std::max(slack, 1e-3))
+        << "n=" << n << " f=" << f;
+  }
+}
+
+TEST(AllPairs, BothEstimatorsTrackTheirOwnExactValues) {
+  mc::EstimateOptions options;
+  options.iterations = 30000;
+  options.seed = 55;
+  const auto pair = mc::estimate_p_success(6, 4, options);
+  const auto system = mc::estimate_system_success(6, 4, options);
+  EXPECT_NEAR(pair.p, p_success(6, 4), 0.02);
+  EXPECT_NEAR(system.p, p_all_pairs_success(6, 4), 0.02);
+  // Different criteria, independent streams: almost surely distinct counts.
+  EXPECT_NE(system.successes, pair.successes);
+}
+
+}  // namespace
+}  // namespace drs::analytic

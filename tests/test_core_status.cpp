@@ -1,0 +1,141 @@
+// Management-plane status queries ("answering requests" in the paper's
+// two-phase daemon loop).
+#include <gtest/gtest.h>
+
+#include "core/system.hpp"
+#include "net/failure.hpp"
+
+namespace drs::core {
+namespace {
+
+using namespace drs::util::literals;
+
+class StatusTest : public ::testing::Test {
+ protected:
+  StatusTest()
+      : network(sim, {.node_count = 6, .backplane = {}}),
+        system(network, config()),
+        injector(network) {
+    system.start();
+  }
+
+  static DrsConfig config() {
+    DrsConfig c;
+    c.probe_interval = 50_ms;
+    c.probe_timeout = 20_ms;
+    c.failures_to_down = 2;
+    c.discover_timeout = 25_ms;
+    return c;
+  }
+
+  std::optional<DrsDaemon::RemoteStatus> query(net::NodeId from, net::NodeId to,
+                                               util::Duration timeout = 200_ms) {
+    std::optional<DrsDaemon::RemoteStatus> result;
+    bool done = false;
+    system.daemon(from).query_peer_status(to, timeout,
+                                          [&](const auto& status) {
+                                            result = status;
+                                            done = true;
+                                          });
+    const auto deadline = sim.now() + timeout + 50_ms;
+    while (!done && sim.now() < deadline && !sim.idle()) sim.step();
+    return result;
+  }
+
+  sim::Simulator sim;
+  net::ClusterNetwork network;
+  DrsSystem system;
+  net::FailureInjector injector;
+};
+
+TEST_F(StatusTest, HealthyNodeReportsAllClear) {
+  sim.run_for(500_ms);
+  const auto status = query(0, 3);
+  ASSERT_TRUE(status.has_value());
+  EXPECT_EQ(status->node, 3);
+  EXPECT_EQ(status->links_down, 0);
+  EXPECT_EQ(status->detours, 0);
+  EXPECT_EQ(status->leases_held, 0);
+  EXPECT_GT(status->rtt, util::Duration::zero());
+  EXPECT_LT(status->rtt, 5_ms);
+}
+
+TEST_F(StatusTest, DegradedNodeReportsItsDetours) {
+  sim.run_for(500_ms);
+  // Node 3 loses its primary NIC: it should report 5 down links (one per
+  // peer on net A) and 5 detours.
+  injector.apply_now(net::ClusterNetwork::nic_component(3, 0), true);
+  sim.run_for(1_s);
+  const auto status = query(0, 3);
+  ASSERT_TRUE(status.has_value());
+  EXPECT_EQ(status->links_down, 5);
+  EXPECT_EQ(status->detours, 5);
+}
+
+TEST_F(StatusTest, RelayReportsLeases) {
+  sim.run_for(500_ms);
+  injector.apply_now(net::ClusterNetwork::nic_component(0, 1), true);
+  injector.apply_now(net::ClusterNetwork::nic_component(1, 0), true);
+  sim.run_for(1_s);
+  ASSERT_EQ(system.daemon(0).peer_mode(1), PeerRouteMode::kRelay);
+  const net::NodeId relay = *system.daemon(0).relay_for(1);
+  const auto status = query(2 == relay ? 3 : 2, relay);
+  ASSERT_TRUE(status.has_value());
+  EXPECT_GE(status->leases_held, 1);
+}
+
+TEST_F(StatusTest, QueryRidesTheDetour) {
+  // Querying a node whose direct links to us are gone still works: the
+  // request is routed, so it follows the relay path like any data.
+  sim.run_for(500_ms);
+  injector.apply_now(net::ClusterNetwork::nic_component(0, 1), true);
+  injector.apply_now(net::ClusterNetwork::nic_component(1, 0), true);
+  sim.run_for(1_s);
+  const auto status = query(0, 1);
+  ASSERT_TRUE(status.has_value());
+  EXPECT_EQ(status->node, 1);
+  EXPECT_GT(status->detours, 0);  // node 1 is detouring too
+}
+
+TEST_F(StatusTest, DeadNodeTimesOut) {
+  sim.run_for(500_ms);
+  injector.apply_now(net::ClusterNetwork::nic_component(4, 0), true);
+  injector.apply_now(net::ClusterNetwork::nic_component(4, 1), true);
+  sim.run_for(1_s);
+  const auto status = query(0, 4, 100_ms);
+  EXPECT_FALSE(status.has_value());
+}
+
+TEST_F(StatusTest, CallbackFiresExactlyOnceOnTimeoutThenLateReply) {
+  // Pathological timing: timeout shorter than any possible round trip.
+  sim.run_for(500_ms);
+  int callbacks = 0;
+  system.daemon(0).query_peer_status(1, util::Duration::nanos(1),
+                                     [&](const auto&) { ++callbacks; });
+  sim.run_for(100_ms);  // the late reply arrives and must be ignored
+  EXPECT_EQ(callbacks, 1);
+}
+
+TEST_F(StatusTest, LocalStatusMatchesRemoteView) {
+  sim.run_for(500_ms);
+  injector.apply_now(net::ClusterNetwork::nic_component(2, 0), true);
+  sim.run_for(1_s);
+  const auto remote = query(0, 2);
+  ASSERT_TRUE(remote.has_value());
+  const auto local = system.daemon(2).local_status();
+  EXPECT_EQ(remote->links_down, local.links_down);
+  EXPECT_EQ(remote->detours, local.detours);
+  EXPECT_EQ(remote->leases_held, local.leases_held);
+}
+
+TEST_F(StatusTest, StopDropsPendingQueriesSilently) {
+  sim.run_for(500_ms);
+  int callbacks = 0;
+  system.daemon(0).query_peer_status(1, 1_s, [&](const auto&) { ++callbacks; });
+  system.daemon(0).stop();
+  sim.run_for(2_s);
+  EXPECT_EQ(callbacks, 0);
+}
+
+}  // namespace
+}  // namespace drs::core

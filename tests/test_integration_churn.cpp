@@ -1,0 +1,263 @@
+// Integration stress: randomized failure/repair churn, lossy media and
+// asymmetric failures against the full DRS stack. These are the "does the
+// protocol converge from ANY history" properties.
+#include <gtest/gtest.h>
+
+#include "analytic/enumerate.hpp"
+#include "core/system.hpp"
+#include "net/failure.hpp"
+#include "proto/tcp_lite.hpp"
+
+namespace drs::core {
+namespace {
+
+using namespace drs::util::literals;
+
+DrsConfig fast_config() {
+  DrsConfig c;
+  c.probe_interval = 50_ms;
+  c.probe_timeout = 20_ms;
+  c.failures_to_down = 2;
+  c.discover_timeout = 25_ms;
+  return c;
+}
+
+/// Randomized churn, then heal everything: the system must return to the
+/// pristine state — direct modes, empty DRS route sets, no leases.
+class ChurnTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChurnTest, ConvergesAfterArbitraryFailureHistory) {
+  const std::uint64_t seed = GetParam();
+  util::Rng rng(seed);
+  sim::Simulator sim;
+  net::ClusterNetwork network(sim, {.node_count = 6, .backplane = {}});
+  DrsSystem system(network, fast_config());
+  system.start();
+  sim.run_for(300_ms);
+
+  // 30 random fail/restore flips over ~6 simulated seconds.
+  for (int i = 0; i < 30; ++i) {
+    const auto component =
+        static_cast<net::ComponentIndex>(rng.next_below(network.component_count()));
+    network.set_component_failed(component,
+                                 !network.component_failed(component));
+    sim.run_for(util::Duration::millis(rng.next_int(20, 400)));
+  }
+
+  network.heal_all();
+  sim.run_for(3_s);
+
+  for (net::NodeId i = 0; i < 6; ++i) {
+    const DrsDaemon& daemon = system.daemon(i);
+    EXPECT_TRUE(daemon.host_routes_empty()) << "node " << i << " seed " << seed;
+    EXPECT_EQ(daemon.active_leases(), 0u) << "node " << i;
+    EXPECT_EQ(daemon.links().down_count(), 0u) << "node " << i;
+    for (net::NodeId j = 0; j < 6; ++j) {
+      if (i == j) continue;
+      EXPECT_EQ(daemon.peer_mode(j), PeerRouteMode::kDirect)
+          << i << "->" << j << " seed " << seed;
+    }
+  }
+  for (net::NodeId a = 0; a < 6; ++a) {
+    for (net::NodeId b = a + 1; b < 6; ++b) {
+      EXPECT_TRUE(system.test_reachability(a, b)) << a << "-" << b;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChurnTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+/// Mid-churn snapshot: whatever the failure pattern is when the dust
+/// settles, packet-level reachability of (0,1) must equal the model.
+class ChurnSnapshotTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChurnSnapshotTest, SteadyStateMatchesModelAfterChurn) {
+  util::Rng rng(GetParam() * 977);
+  sim::Simulator sim;
+  net::ClusterNetwork network(sim, {.node_count = 5, .backplane = {}});
+  DrsSystem system(network, fast_config());
+  system.start();
+  sim.run_for(300_ms);
+
+  for (int i = 0; i < 12; ++i) {
+    const auto component =
+        static_cast<net::ComponentIndex>(rng.next_below(network.component_count()));
+    network.set_component_failed(component, rng.next_bernoulli(0.6));
+    sim.run_for(util::Duration::millis(rng.next_int(10, 200)));
+  }
+  sim.run_for(2_s);  // converge on the final pattern
+
+  analytic::ComponentSet failed;
+  for (net::ComponentIndex c = 0; c < network.component_count(); ++c) {
+    if (network.component_failed(c)) failed.set(c);
+  }
+  const bool expected = analytic::pair_connected(5, failed, 0, 1);
+  EXPECT_EQ(system.test_reachability(0, 1), expected) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChurnSnapshotTest,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+// --- DRS on lossy media -------------------------------------------------------
+
+TEST(DrsUnderLoss, SuspectStateAbsorbsTransientLoss) {
+  // 2 % random frame loss: single lost echoes must NOT trigger failovers
+  // (failures_to_down = 2 means two consecutive losses on the same link).
+  sim::Simulator sim;
+  net::Backplane::Config lossy;
+  lossy.frame_loss_rate = 0.02;
+  lossy.seed = 7;
+  net::ClusterNetwork network(sim, {.node_count = 6, .backplane = lossy});
+  DrsConfig config = fast_config();
+  config.failures_to_down = 3;  // extra tolerance on noisy media
+  DrsSystem system(network, config);
+  system.start();
+  sim.run_for(10_s);
+
+  std::uint64_t failovers = 0;
+  std::uint64_t failed_probes = 0;
+  for (net::NodeId i = 0; i < 6; ++i) {
+    failovers += system.daemon(i).metrics().links_declared_down;
+    failed_probes += system.daemon(i).metrics().probes_failed;
+  }
+  EXPECT_GT(failed_probes, 0u);  // the loss really happened
+  // P[3 consecutive losses] ~ (1 - 0.98^2)^3 ~ 6e-5 per link-cycle; with
+  // 6*5*2 links over 100 cycles a couple of unlucky streaks may appear, but
+  // it must stay rare — and the links must all be back UP at the end.
+  EXPECT_LT(failovers, 8u);
+  for (net::NodeId i = 0; i < 6; ++i) {
+    EXPECT_EQ(system.daemon(i).links().down_count(), 0u) << "node " << i;
+  }
+}
+
+TEST(DrsUnderLoss, RealFailureStillDetectedThroughNoise) {
+  sim::Simulator sim;
+  net::Backplane::Config lossy;
+  lossy.frame_loss_rate = 0.05;
+  lossy.seed = 11;
+  net::ClusterNetwork network(sim, {.node_count = 6, .backplane = lossy});
+  DrsSystem system(network, fast_config());
+  system.start();
+  sim.run_for(1_s);
+  network.set_component_failed(net::ClusterNetwork::nic_component(1, 0), true);
+  sim.run_for(1_s);
+  EXPECT_EQ(system.daemon(0).peer_mode(1), PeerRouteMode::kViaNetworkB);
+}
+
+// --- Asymmetric NIC failures ----------------------------------------------------
+
+TEST(AsymmetricFailure, TxOnlyDeathHealsIntoAsymmetricPaths) {
+  // Node 1's net-A transmitter dies while its receiver still works. The
+  // victim's own daemon sees all of its net-A links fail (its probes cannot
+  // leave) and pins its *outbound* traffic — including echo replies — to
+  // net B. From then on node 0's net-A probes to node 1 succeed again:
+  // request over net A (deliverable — RX works), reply back over net B. The
+  // steady state is an asymmetric but fully working path, so node 0
+  // correctly keeps (or returns to) direct mode; only the victim detours.
+  sim::Simulator sim;
+  net::ClusterNetwork network(sim, {.node_count = 5, .backplane = {}});
+  DrsSystem system(network, fast_config());
+  system.start();
+  sim.run_for(500_ms);
+  network.host(1).nic(0).set_tx_failed(true);
+  sim.run_for(2_s);
+  EXPECT_EQ(system.daemon(1).peer_mode(0), PeerRouteMode::kViaNetworkB);
+  EXPECT_TRUE(system.test_reachability(0, 1));
+  EXPECT_TRUE(system.test_reachability(1, 0));
+  // The forward direction still uses net A: packets keep arriving on the
+  // half-dead NIC.
+  EXPECT_GT(network.host(1).nic(0).counters().rx_frames, 0u);
+}
+
+TEST(AsymmetricFailure, RxOnlyDeathIsDetectedAndRouted) {
+  sim::Simulator sim;
+  net::ClusterNetwork network(sim, {.node_count = 5, .backplane = {}});
+  DrsSystem system(network, fast_config());
+  system.start();
+  sim.run_for(500_ms);
+  network.host(1).nic(0).set_rx_failed(true);
+  sim.run_for(1_s);
+  EXPECT_EQ(system.daemon(0).peer_mode(1), PeerRouteMode::kViaNetworkB);
+  EXPECT_TRUE(system.test_reachability(0, 1));
+}
+
+// --- TCP over lossy media under DRS --------------------------------------------
+
+// Loss-seed sweep: whatever corruption pattern the medium draws, TCP-lite
+// under DRS must deliver every byte in order or reset — never corrupt.
+class TcpLossSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TcpLossSweep, IntegrityUnderRandomLoss) {
+  sim::Simulator sim;
+  net::Backplane::Config lossy;
+  lossy.frame_loss_rate = 0.05;
+  lossy.seed = GetParam();
+  net::ClusterNetwork network(sim, {.node_count = 3, .backplane = lossy});
+
+  proto::TcpService tcp0(network.host(0));
+  proto::TcpService tcp1(network.host(1));
+  proto::TcpConnectionPtr server;
+  std::uint64_t last_total = 0;
+  bool monotone = true;
+  tcp1.listen(80, [&](proto::TcpConnectionPtr c) {
+    server = c;
+    c->on_receive = [&](std::uint64_t total) {
+      monotone = monotone && total >= last_total;
+      last_total = total;
+    };
+  });
+  proto::TcpConfig config;
+  config.max_retries = 15;
+  config.max_rto = 2_s;  // bound the backoff so the run decides within 120 s
+  auto client = tcp0.connect(net::cluster_ip(0, 1), 80, config);
+  sim.run_for(2_s);
+  if (client->state() != proto::TcpConnection::State::kEstablished) {
+    GTEST_SKIP() << "handshake lost to the medium for this seed";
+  }
+  client->offer(100'000);
+  client->close();
+  sim.run_for(120_s);
+  EXPECT_TRUE(monotone);
+  ASSERT_TRUE(server != nullptr);
+  if (client->state() == proto::TcpConnection::State::kClosed) {
+    EXPECT_EQ(server->stats().bytes_delivered, 100'000u);
+  } else {
+    // A reset is acceptable under sustained loss; silent corruption is not.
+    EXPECT_EQ(client->state(), proto::TcpConnection::State::kReset);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TcpLossSweep,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+TEST(TcpUnderLoss, TransferCompletesDespiteLossAndFailover) {
+  sim::Simulator sim;
+  net::Backplane::Config lossy;
+  lossy.frame_loss_rate = 0.02;
+  lossy.seed = 23;
+  net::ClusterNetwork network(sim, {.node_count = 4, .backplane = lossy});
+  DrsSystem system(network, fast_config());
+  system.start();
+
+  proto::TcpService tcp0(network.host(0));
+  proto::TcpService tcp1(network.host(1));
+  proto::TcpConnectionPtr server;
+  tcp1.listen(80, [&](proto::TcpConnectionPtr c) { server = c; });
+  proto::TcpConfig tcp_config;
+  tcp_config.max_retries = 20;  // lossy medium: be patient
+  auto client = tcp0.connect(net::cluster_ip(0, 1), 80, tcp_config);
+  sim.run_for(500_ms);
+  client->offer(300'000);
+  sim.schedule_after(100_ms, [&] {
+    network.host(1).nic(0).set_failed(true);
+  });
+  sim.run_for(60_s);
+  ASSERT_TRUE(server != nullptr);
+  EXPECT_EQ(server->stats().bytes_delivered, 300'000u);
+  EXPECT_GT(client->stats().retransmissions, 0u);
+  EXPECT_NE(client->state(), proto::TcpConnection::State::kReset);
+}
+
+}  // namespace
+}  // namespace drs::core

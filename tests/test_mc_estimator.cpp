@@ -1,0 +1,143 @@
+#include "montecarlo/estimator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analytic/survivability.hpp"
+#include "montecarlo/component_model.hpp"
+#include "montecarlo/convergence.hpp"
+
+namespace drs::mc {
+namespace {
+
+TEST(Sampling, DrawsExactlyFDistinctComponents) {
+  util::Rng rng(1);
+  analytic::ComponentSet set;
+  for (int rep = 0; rep < 100; ++rep) {
+    sample_failures(10, 7, rng, set);
+    EXPECT_EQ(set.count(), 7);
+  }
+}
+
+TEST(Sampling, ZeroFailuresLeavesEverythingUp) {
+  util::Rng rng(2);
+  analytic::ComponentSet set;
+  set.set(3);
+  sample_failures(10, 0, rng, set);
+  EXPECT_EQ(set.count(), 0);  // clear happened
+}
+
+TEST(Estimator, DeterministicForFixedSeed) {
+  EstimateOptions options;
+  options.iterations = 10000;
+  options.seed = 77;
+  const Estimate a = estimate_p_success(12, 3, options);
+  const Estimate b = estimate_p_success(12, 3, options);
+  EXPECT_EQ(a.successes, b.successes);
+  EXPECT_EQ(a.p, b.p);
+}
+
+TEST(Estimator, DifferentSeedsDiffer) {
+  EstimateOptions a_options, b_options;
+  a_options.iterations = b_options.iterations = 10000;
+  a_options.seed = 1;
+  b_options.seed = 2;
+  EXPECT_NE(estimate_p_success(12, 3, a_options).successes,
+            estimate_p_success(12, 3, b_options).successes);
+}
+
+TEST(Estimator, ThreadCountInvariant) {
+  EstimateOptions base;
+  base.iterations = 20000;
+  base.seed = 99;
+  base.block_size = 1024;
+  base.threads = 1;
+  const Estimate single = estimate_p_success(16, 4, base);
+  for (unsigned threads : {2u, 4u, 8u}) {
+    EstimateOptions options = base;
+    options.threads = threads;
+    const Estimate parallel = estimate_p_success(16, 4, options);
+    EXPECT_EQ(parallel.successes, single.successes) << threads << " threads";
+  }
+}
+
+TEST(Estimator, BlockSizeInvariantWouldBreak) {
+  // Document the contract: block size is part of the deterministic stream
+  // layout, so changing it changes (slightly) which trials run. The estimate
+  // must still agree within statistical noise.
+  EstimateOptions a_options;
+  a_options.iterations = 50000;
+  a_options.seed = 5;
+  a_options.block_size = 1000;
+  EstimateOptions b_options = a_options;
+  b_options.block_size = 7777;
+  const double pa = estimate_p_success(16, 4, a_options).p;
+  const double pb = estimate_p_success(16, 4, b_options).p;
+  EXPECT_NEAR(pa, pb, 0.01);
+}
+
+class EstimatorAccuracy
+    : public ::testing::TestWithParam<std::tuple<std::int64_t, std::int64_t>> {};
+
+TEST_P(EstimatorAccuracy, WithinWilsonIntervalOfEquation1) {
+  const auto [nodes, failures] = GetParam();
+  EstimateOptions options;
+  options.iterations = 40000;
+  options.seed = 1234;
+  const Estimate estimate = estimate_p_success(nodes, failures, options);
+  const double truth = analytic::p_success(nodes, failures);
+  // 95 % Wilson interval at 40k trials; allow the rare miss by widening 1.5x.
+  const double slack = 1.5 * (estimate.wilson95.hi - estimate.wilson95.lo) / 2;
+  EXPECT_NEAR(estimate.p, truth, std::max(slack, 1e-3))
+      << "N=" << nodes << " f=" << failures;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, EstimatorAccuracy,
+    ::testing::Values(std::tuple{4, 2}, std::tuple{8, 2}, std::tuple{8, 4},
+                      std::tuple{16, 3}, std::tuple{24, 5}, std::tuple{32, 4},
+                      std::tuple{48, 2}, std::tuple{63, 10}));
+
+TEST(Estimator, ExactForDegenerateCases) {
+  EstimateOptions options;
+  options.iterations = 2000;
+  EXPECT_DOUBLE_EQ(estimate_p_success(8, 0, options).p, 1.0);
+  EXPECT_DOUBLE_EQ(estimate_p_success(8, 1, options).p, 1.0);
+  EXPECT_DOUBLE_EQ(estimate_p_success(8, 18, options).p, 0.0);  // all dead
+}
+
+TEST(Convergence, DeviationShrinksWithIterations) {
+  // The Fig. 3 property: MAD decreases (strongly) from 10 to 100k iterations.
+  const ConvergencePoint coarse = convergence_point(3, 10, 32, 42, 1);
+  const ConvergencePoint fine = convergence_point(3, 100000, 32, 42, 1);
+  EXPECT_LT(fine.mean_abs_deviation, coarse.mean_abs_deviation / 5);
+  EXPECT_LT(fine.mean_abs_deviation, 0.005);
+}
+
+TEST(Convergence, ThousandIterationsAlreadyTight) {
+  // The paper reports a small MAD at 1,000 iterations for every f.
+  for (std::int64_t f : {2, 5, 10}) {
+    const ConvergencePoint point = convergence_point(f, 1000, 64, 7, 1);
+    EXPECT_LT(point.mean_abs_deviation, 0.02) << "f=" << f;
+  }
+}
+
+TEST(Convergence, SweepShapeMatchesRequest) {
+  ConvergenceOptions options;
+  options.failure_counts = {2, 3};
+  options.iteration_counts = {10, 100};
+  options.n_limit = 16;
+  const auto points = run_convergence(options);
+  ASSERT_EQ(points.size(), 4u);
+  EXPECT_EQ(points[0].failures, 2);
+  EXPECT_EQ(points[0].iterations, 10u);
+  EXPECT_EQ(points[3].failures, 3);
+  EXPECT_EQ(points[3].iterations, 100u);
+}
+
+TEST(Convergence, MaxDeviationBoundsMean) {
+  const ConvergencePoint point = convergence_point(4, 500, 32, 11, 1);
+  EXPECT_GE(point.max_abs_deviation, point.mean_abs_deviation);
+}
+
+}  // namespace
+}  // namespace drs::mc

@@ -1,0 +1,66 @@
+#include "montecarlo/packet_validation.hpp"
+
+#include <gtest/gtest.h>
+
+namespace drs::mc {
+namespace {
+
+// These are the repository's strongest integration tests: the combinatorial
+// model and the live protocol implementation must agree on every sampled
+// failure pattern — connectivity-wise, the deployed DRS achieves exactly
+// what Equation 1 credits it with.
+
+class PacketAgreement
+    : public ::testing::TestWithParam<std::tuple<std::int64_t, std::int64_t>> {};
+
+TEST_P(PacketAgreement, ModelAndProtocolAgreeOnSampledFailures) {
+  const auto [nodes, failures] = GetParam();
+  PacketValidationOptions options;
+  options.nodes = nodes;
+  options.failures = failures;
+  options.samples = 12;
+  options.seed = 0xC0FFEE + static_cast<std::uint64_t>(nodes * 100 + failures);
+  const PacketValidationResult result = validate_against_packet_level(options);
+  EXPECT_EQ(result.samples, options.samples);
+  std::string detail;
+  for (const auto& d : result.disagreements) detail += d.to_string() + "\n";
+  EXPECT_TRUE(result.perfect()) << detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PacketAgreement,
+    ::testing::Values(std::tuple{4, 1}, std::tuple{4, 2}, std::tuple{4, 3},
+                      std::tuple{6, 2}, std::tuple{6, 4}, std::tuple{8, 3}));
+
+TEST(PacketAgreement, HeavyDamageStillAgrees) {
+  // f large enough that most samples are disconnected: the protocol must not
+  // "over-recover" (claim connectivity the hardware cannot provide).
+  PacketValidationOptions options;
+  options.nodes = 5;
+  options.failures = 8;
+  options.samples = 10;
+  const PacketValidationResult result = validate_against_packet_level(options);
+  EXPECT_TRUE(result.perfect());
+  EXPECT_LT(result.packet_connected, result.samples);  // some must be cut
+}
+
+TEST(PacketAgreement, RelayDisabledWeakensConnectivity) {
+  // Ablation: with allow_relay = false the packet level can only do direct
+  // failover, so it must never beat the model, and on cross-split patterns
+  // it falls short — packet_connected <= model_connected.
+  PacketValidationOptions options;
+  options.nodes = 6;
+  options.failures = 4;
+  options.samples = 30;
+  options.drs.allow_relay = false;
+  const PacketValidationResult result = validate_against_packet_level(options);
+  EXPECT_LE(result.packet_connected, result.model_connected);
+  for (const auto& d : result.disagreements) {
+    // Any disagreement must be the protocol UNDER-achieving, never over.
+    EXPECT_TRUE(d.model_says_connected && !d.packet_level_connected)
+        << d.to_string();
+  }
+}
+
+}  // namespace
+}  // namespace drs::mc

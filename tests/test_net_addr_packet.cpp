@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "net/addr.hpp"
+#include "net/packet.hpp"
+
+namespace drs::net {
+namespace {
+
+TEST(Ipv4Addr, OctetsAndToString) {
+  const Ipv4Addr a = Ipv4Addr::octets(10, 1, 0, 7);
+  EXPECT_EQ(a.to_string(), "10.1.0.7");
+  EXPECT_EQ(a.value(), 0x0A010007u);
+  EXPECT_TRUE(Ipv4Addr{}.is_unspecified());
+  EXPECT_FALSE(a.is_unspecified());
+}
+
+TEST(Ipv4Addr, PrefixMatching) {
+  const Ipv4Addr a = Ipv4Addr::octets(10, 1, 0, 7);
+  EXPECT_TRUE(a.in_prefix(Ipv4Addr::octets(10, 1, 0, 0), 24));
+  EXPECT_FALSE(a.in_prefix(Ipv4Addr::octets(10, 2, 0, 0), 24));
+  EXPECT_TRUE(a.in_prefix(Ipv4Addr::octets(10, 1, 0, 7), 32));
+  EXPECT_FALSE(a.in_prefix(Ipv4Addr::octets(10, 1, 0, 8), 32));
+  EXPECT_TRUE(a.in_prefix(Ipv4Addr{}, 0));  // default route matches all
+}
+
+TEST(MacAddr, BroadcastAndFormatting) {
+  EXPECT_TRUE(MacAddr::broadcast().is_broadcast());
+  EXPECT_FALSE(MacAddr(1).is_broadcast());
+  EXPECT_EQ(MacAddr(0x0244520001FFull).to_string(), "02:44:52:00:01:ff");
+}
+
+TEST(ClusterAddressing, PlanIsDisjointAcrossNetworks) {
+  EXPECT_EQ(cluster_ip(0, 0).to_string(), "10.1.0.1");
+  EXPECT_EQ(cluster_ip(1, 0).to_string(), "10.2.0.1");
+  EXPECT_EQ(cluster_ip(0, 41).to_string(), "10.1.0.42");
+  EXPECT_NE(cluster_ip(0, 5), cluster_ip(1, 5));
+  EXPECT_TRUE(cluster_ip(0, 5).in_prefix(cluster_subnet(0), kClusterPrefixLen));
+  EXPECT_FALSE(cluster_ip(0, 5).in_prefix(cluster_subnet(1), kClusterPrefixLen));
+}
+
+class ClusterIpRoundTrip
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ClusterIpRoundTrip, ParseInvertsFormat) {
+  const auto network = static_cast<NetworkId>(std::get<0>(GetParam()));
+  const auto node = static_cast<NodeId>(std::get<1>(GetParam()));
+  NetworkId parsed_network = 99;
+  NodeId parsed_node = 999;
+  ASSERT_TRUE(parse_cluster_ip(cluster_ip(network, node), parsed_network, parsed_node));
+  EXPECT_EQ(parsed_network, network);
+  EXPECT_EQ(parsed_node, node);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCorners, ClusterIpRoundTrip,
+                         ::testing::Combine(::testing::Values(0, 1),
+                                            ::testing::Values(0, 1, 7, 63, 89)));
+
+TEST(ClusterAddressing, ParseRejectsForeignAddresses) {
+  NetworkId network;
+  NodeId node;
+  EXPECT_FALSE(parse_cluster_ip(Ipv4Addr::octets(192, 168, 0, 1), network, node));
+  EXPECT_FALSE(parse_cluster_ip(Ipv4Addr::octets(10, 3, 0, 1), network, node));
+  EXPECT_FALSE(parse_cluster_ip(Ipv4Addr::octets(10, 1, 1, 1), network, node));
+  EXPECT_FALSE(parse_cluster_ip(Ipv4Addr::octets(10, 1, 0, 0), network, node));
+}
+
+TEST(ClusterAddressing, MacsAreUniquePerNic) {
+  EXPECT_NE(cluster_mac(0, 3), cluster_mac(1, 3));
+  EXPECT_NE(cluster_mac(0, 3), cluster_mac(0, 4));
+  EXPECT_FALSE(cluster_mac(0, 0).is_broadcast());
+}
+
+struct FixedPayload final : Payload {
+  std::uint32_t size;
+  explicit FixedPayload(std::uint32_t s) : size(s) {}
+  std::uint32_t wire_size() const override { return size; }
+  std::string describe() const override { return "fixed"; }
+};
+
+TEST(Packet, IpSizeAddsHeader) {
+  Packet p;
+  p.payload = std::make_shared<FixedPayload>(100);
+  EXPECT_EQ(p.ip_size(), 120u);
+  Packet empty;
+  EXPECT_EQ(empty.ip_size(), kIpHeaderBytes);
+}
+
+TEST(Frame, MinimumFrameEnforced) {
+  Frame f;
+  f.packet.payload = std::make_shared<FixedPayload>(8);  // echo header only
+  // 14 + 20 + 8 + 4 = 46 < 64 minimum.
+  EXPECT_EQ(f.wire_bytes(), kMinEthFrameBytes);
+}
+
+TEST(Frame, LargeFrameUsesRealSize) {
+  Frame f;
+  f.packet.payload = std::make_shared<FixedPayload>(1000);
+  EXPECT_EQ(f.wire_bytes(), 14u + 20u + 1000u + 4u);
+}
+
+TEST(Protocol, Names) {
+  EXPECT_STREQ(to_string(Protocol::kIcmp), "icmp");
+  EXPECT_STREQ(to_string(Protocol::kDrsControl), "drs");
+}
+
+}  // namespace
+}  // namespace drs::net

@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include "net/network.hpp"
+#include "proto/icmp.hpp"
+
+namespace drs::net {
+namespace {
+
+using namespace drs::util::literals;
+
+TEST(RoutingTable, LongestPrefixWins) {
+  RoutingTable table;
+  table.install(Route{cluster_subnet(0), 24, 0, Ipv4Addr{}, 1, RouteOrigin::kStatic});
+  table.install(Route{cluster_ip(0, 5), 32, 1, cluster_ip(1, 5), 1, RouteOrigin::kDrs});
+  const auto host_route = table.lookup(cluster_ip(0, 5));
+  ASSERT_TRUE(host_route.has_value());
+  EXPECT_EQ(host_route->prefix_len, 32);
+  EXPECT_EQ(host_route->out_ifindex, 1);
+  const auto subnet_route = table.lookup(cluster_ip(0, 6));
+  ASSERT_TRUE(subnet_route.has_value());
+  EXPECT_EQ(subnet_route->prefix_len, 24);
+}
+
+TEST(RoutingTable, LowerMetricBreaksPrefixTies) {
+  RoutingTable table;
+  table.install(Route{cluster_ip(0, 5), 32, 0, Ipv4Addr{}, 5, RouteOrigin::kRip});
+  table.install(Route{cluster_ip(0, 5), 32, 1, Ipv4Addr{}, 2, RouteOrigin::kDrs});
+  const auto route = table.lookup(cluster_ip(0, 5));
+  ASSERT_TRUE(route.has_value());
+  EXPECT_EQ(route->metric, 2);
+  EXPECT_EQ(route->out_ifindex, 1);
+}
+
+TEST(RoutingTable, NewestWinsFullTies) {
+  RoutingTable table;
+  table.install(Route{cluster_ip(0, 5), 32, 0, Ipv4Addr{}, 1, RouteOrigin::kRip});
+  table.install(Route{cluster_ip(0, 5), 32, 1, Ipv4Addr{}, 1, RouteOrigin::kDrs});
+  const auto route = table.lookup(cluster_ip(0, 5));
+  ASSERT_TRUE(route.has_value());
+  EXPECT_EQ(route->origin, RouteOrigin::kDrs);
+}
+
+TEST(RoutingTable, InstallReplacesSamePrefixAndOrigin) {
+  RoutingTable table;
+  table.install(Route{cluster_ip(0, 5), 32, 0, Ipv4Addr{}, 1, RouteOrigin::kDrs});
+  table.install(Route{cluster_ip(0, 5), 32, 1, cluster_ip(1, 5), 1, RouteOrigin::kDrs});
+  EXPECT_EQ(table.routes().size(), 1u);
+  EXPECT_EQ(table.lookup(cluster_ip(0, 5))->out_ifindex, 1);
+}
+
+TEST(RoutingTable, RemoveByOriginIsSelective) {
+  RoutingTable table;
+  table.install(Route{cluster_ip(0, 5), 32, 0, Ipv4Addr{}, 1, RouteOrigin::kDrs});
+  table.install(Route{cluster_ip(0, 5), 32, 0, Ipv4Addr{}, 1, RouteOrigin::kRip});
+  EXPECT_EQ(table.remove(cluster_ip(0, 5), 32, RouteOrigin::kDrs), 1u);
+  ASSERT_TRUE(table.lookup(cluster_ip(0, 5)).has_value());
+  EXPECT_EQ(table.lookup(cluster_ip(0, 5))->origin, RouteOrigin::kRip);
+}
+
+TEST(RoutingTable, RemoveAllOrigin) {
+  RoutingTable table;
+  table.install(Route{cluster_ip(0, 1), 32, 0, Ipv4Addr{}, 1, RouteOrigin::kDrs});
+  table.install(Route{cluster_ip(0, 2), 32, 0, Ipv4Addr{}, 1, RouteOrigin::kDrs});
+  table.install(Route{cluster_subnet(0), 24, 0, Ipv4Addr{}, 1, RouteOrigin::kStatic});
+  EXPECT_EQ(table.remove_all(RouteOrigin::kDrs), 2u);
+  EXPECT_EQ(table.routes().size(), 1u);
+}
+
+TEST(RoutingTable, NoMatchReturnsNothing) {
+  RoutingTable table;
+  table.install(Route{cluster_subnet(0), 24, 0, Ipv4Addr{}, 1, RouteOrigin::kStatic});
+  EXPECT_FALSE(table.lookup(Ipv4Addr::octets(192, 168, 1, 1)).has_value());
+}
+
+TEST(RoutingTable, VersionBumpsOnMutation) {
+  RoutingTable table;
+  const auto v0 = table.version();
+  table.install(Route{cluster_subnet(0), 24, 0, Ipv4Addr{}, 1, RouteOrigin::kStatic});
+  EXPECT_GT(table.version(), v0);
+  const auto v1 = table.version();
+  table.remove(cluster_subnet(0), 24);
+  EXPECT_GT(table.version(), v1);
+  const auto v2 = table.version();
+  table.remove(cluster_subnet(0), 24);  // nothing left: no bump
+  EXPECT_EQ(table.version(), v2);
+}
+
+TEST(BroadcastIp, RecognizesClusterBroadcasts) {
+  EXPECT_TRUE(is_broadcast_ip(Ipv4Addr(0xFFFFFFFFu)));
+  EXPECT_TRUE(is_broadcast_ip(Ipv4Addr::octets(10, 1, 0, 255)));
+  EXPECT_TRUE(is_broadcast_ip(Ipv4Addr::octets(10, 2, 0, 255)));
+  EXPECT_FALSE(is_broadcast_ip(cluster_ip(0, 3)));
+}
+
+// --- Host-level behaviour on a real cluster -------------------------------
+
+class HostStackTest : public ::testing::Test {
+ protected:
+  HostStackTest() : network(sim, {.node_count = 4, .backplane = {}}) {}
+
+  sim::Simulator sim;
+  ClusterNetwork network;
+};
+
+TEST_F(HostStackTest, BootRoutesDeliverOnBothSubnets) {
+  proto::IcmpService icmp0(network.host(0));
+  proto::IcmpService icmp1(network.host(1));
+  int successes = 0;
+  proto::PingOptions options;
+  options.timeout = 10_ms;
+  icmp0.ping(cluster_ip(0, 1), options,
+             [&](const proto::PingResult& r) { successes += r.success; });
+  icmp0.ping(cluster_ip(1, 1), options,
+             [&](const proto::PingResult& r) { successes += r.success; });
+  sim.run_for(20_ms);
+  EXPECT_EQ(successes, 2);
+}
+
+TEST_F(HostStackTest, SendWithoutRouteDrops) {
+  Host& host = network.host(0);
+  Packet packet;
+  packet.dst = Ipv4Addr::octets(192, 168, 9, 9);
+  packet.protocol = Protocol::kUdp;
+  EXPECT_FALSE(host.send(std::move(packet)));
+  EXPECT_EQ(host.counters().drop_no_route, 1u);
+}
+
+TEST_F(HostStackTest, SendWithoutArpDrops) {
+  Host& host = network.host(0);
+  // A /32 route to an address nobody holds: route resolves, ARP cannot.
+  host.routing_table().install(Route{Ipv4Addr::octets(10, 1, 0, 200), 32, 0,
+                                     Ipv4Addr{}, 1, RouteOrigin::kStatic});
+  Packet packet;
+  packet.dst = Ipv4Addr::octets(10, 1, 0, 200);
+  packet.protocol = Protocol::kUdp;
+  EXPECT_FALSE(host.send(std::move(packet)));
+  EXPECT_EQ(host.counters().drop_no_arp, 1u);
+}
+
+TEST_F(HostStackTest, ForwardingRelaysAcrossNetworks) {
+  // Force 0 -> 1 traffic through node 2: 0 sends to 1's net-B address via
+  // 2's net-A address; 2 forwards out its net-B interface.
+  network.host(0).routing_table().install(Route{
+      cluster_ip(1, 1), 32, 0, cluster_ip(0, 2), 1, RouteOrigin::kDrs});
+  proto::IcmpService icmp0(network.host(0));
+  proto::IcmpService icmp1(network.host(1));
+  bool success = false;
+  proto::PingOptions options;
+  options.timeout = 10_ms;
+  icmp0.ping(cluster_ip(1, 1), options,
+             [&](const proto::PingResult& r) { success = r.success; });
+  sim.run_for(20_ms);
+  EXPECT_TRUE(success);
+  EXPECT_EQ(network.host(2).counters().forwarded, 1u);  // request only;
+  // the reply returns directly over net B (1 and 0 share that subnet).
+}
+
+TEST_F(HostStackTest, TtlExpiryDropsInsteadOfLooping) {
+  // 0 and 2 point the same destination at each other: a routing loop. The
+  // TTL must kill the packet after bounded hops.
+  const Ipv4Addr victim = cluster_ip(1, 1);
+  network.host(0).routing_table().install(
+      Route{victim, 32, 0, cluster_ip(0, 2), 1, RouteOrigin::kDrs});
+  network.host(2).routing_table().install(
+      Route{victim, 32, 0, cluster_ip(0, 0), 1, RouteOrigin::kDrs});
+  network.host(1).nic(1).set_failed(true);  // make direct delivery impossible
+
+  proto::IcmpService icmp0(network.host(0));
+  bool done = false;
+  bool success = true;
+  proto::PingOptions options;
+  options.timeout = 50_ms;
+  icmp0.ping(victim, options, [&](const proto::PingResult& r) {
+    done = true;
+    success = r.success;
+  });
+  sim.run_for(100_ms);
+  EXPECT_TRUE(done);
+  EXPECT_FALSE(success);
+  EXPECT_GE(network.host(0).counters().drop_ttl +
+                network.host(2).counters().drop_ttl,
+            1u);
+}
+
+TEST_F(HostStackTest, TapSeesLocalAndForwarded) {
+  int local = 0, forwarded = 0;
+  network.host(2).set_tap([&](const Packet&, NetworkId, bool was_forwarded) {
+    (was_forwarded ? forwarded : local) += 1;
+  });
+  network.host(0).routing_table().install(Route{
+      cluster_ip(1, 1), 32, 0, cluster_ip(0, 2), 1, RouteOrigin::kDrs});
+  proto::IcmpService icmp0(network.host(0));
+  proto::IcmpService icmp1(network.host(1));
+  proto::IcmpService icmp2(network.host(2));
+  proto::PingOptions options;
+  options.timeout = 10_ms;
+  icmp0.ping(cluster_ip(1, 1), options, [](const proto::PingResult&) {});
+  icmp0.ping(cluster_ip(0, 2), options, [](const proto::PingResult&) {});
+  sim.run_for(20_ms);
+  EXPECT_EQ(forwarded, 1);  // the relayed request
+  EXPECT_GE(local, 1);      // the direct ping to host 2 itself
+}
+
+TEST_F(HostStackTest, OwnsIpBothInterfaces) {
+  EXPECT_TRUE(network.host(3).owns_ip(cluster_ip(0, 3)));
+  EXPECT_TRUE(network.host(3).owns_ip(cluster_ip(1, 3)));
+  EXPECT_FALSE(network.host(3).owns_ip(cluster_ip(0, 2)));
+}
+
+}  // namespace
+}  // namespace drs::net

@@ -1,0 +1,123 @@
+#include "reactive/comparison.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/network.hpp"
+
+namespace drs::reactive {
+namespace {
+
+using namespace drs::util::literals;
+
+ScenarioConfig base_config(ProtocolKind kind) {
+  ScenarioConfig config;
+  config.node_count = 8;
+  config.protocol = kind;
+  config.drs.probe_interval = 50_ms;
+  config.drs.probe_timeout = 20_ms;
+  config.drs.failures_to_down = 2;
+  config.drs.discover_timeout = 25_ms;
+  // Scaled-down classic RIP (30 s / 180 s divided by 30).
+  config.rip.advertise_interval = 1_s;
+  config.rip.route_timeout = 6_s;
+  config.warmup = 3_s;
+  config.measure = 12_s;
+  return config;
+}
+
+std::vector<net::ComponentIndex> peer_primary_nic_failure() {
+  // Observer dst (node 1) loses its primary NIC.
+  return {net::ClusterNetwork::nic_component(1, 0)};
+}
+
+TEST(Comparison, DrsRecoversWithinProbingBudget) {
+  const ScenarioResult result =
+      run_failure_scenario(base_config(ProtocolKind::kDrs),
+                           peer_primary_nic_failure());
+  EXPECT_TRUE(result.healthy_before);
+  EXPECT_TRUE(result.recovered);
+  // Detection (2 x 50 ms) + repair + one probe interval of slack.
+  EXPECT_LT(result.app_outage, 500_ms);
+  EXPECT_GT(result.protocol_messages, 0u);
+}
+
+TEST(Comparison, RipRecoversOnlyAfterTimeout) {
+  const ScenarioResult result =
+      run_failure_scenario(base_config(ProtocolKind::kRip),
+                           peer_primary_nic_failure());
+  EXPECT_TRUE(result.healthy_before);
+  EXPECT_TRUE(result.recovered);
+  EXPECT_GT(result.app_outage, 3_s);  // at least ~ route_timeout/2
+}
+
+TEST(Comparison, StaticNeverRecovers) {
+  const ScenarioResult result =
+      run_failure_scenario(base_config(ProtocolKind::kStatic),
+                           peer_primary_nic_failure());
+  EXPECT_TRUE(result.healthy_before);
+  EXPECT_FALSE(result.recovered);
+  EXPECT_EQ(result.app_outage, util::Duration::max());
+  EXPECT_EQ(result.protocol_messages, 0u);
+}
+
+TEST(Comparison, DrsBeatsRipByAnOrderOfMagnitude) {
+  // The paper's central claim, quantified on identical failures.
+  const ScenarioResult drs = run_failure_scenario(
+      base_config(ProtocolKind::kDrs), peer_primary_nic_failure());
+  const ScenarioResult rip = run_failure_scenario(
+      base_config(ProtocolKind::kRip), peer_primary_nic_failure());
+  ASSERT_TRUE(drs.recovered);
+  ASSERT_TRUE(rip.recovered);
+  EXPECT_LT(drs.app_outage * 10, rip.app_outage);
+}
+
+TEST(Comparison, DrsSurvivesBackplaneFailure) {
+  sim::Simulator sim;
+  net::ClusterNetwork scratch(sim, {.node_count = 8, .backplane = {}});
+  const auto backplane = scratch.backplane_component(0);
+  const ScenarioResult result =
+      run_failure_scenario(base_config(ProtocolKind::kDrs), {backplane});
+  EXPECT_TRUE(result.recovered);
+  EXPECT_LT(result.app_outage, 500_ms);
+}
+
+TEST(Comparison, DrsHandlesCrossSplitWithRelay) {
+  const std::vector<net::ComponentIndex> cross = {
+      net::ClusterNetwork::nic_component(0, 1),
+      net::ClusterNetwork::nic_component(1, 0)};
+  const ScenarioResult result =
+      run_failure_scenario(base_config(ProtocolKind::kDrs), cross);
+  EXPECT_TRUE(result.recovered);
+  EXPECT_LT(result.app_outage, 1_s);  // includes relay discovery
+}
+
+TEST(Comparison, StaticCrossSplitIsFatalButRipSurvivesEventually) {
+  const std::vector<net::ComponentIndex> cross = {
+      net::ClusterNetwork::nic_component(0, 1),
+      net::ClusterNetwork::nic_component(1, 0)};
+  const ScenarioResult stat =
+      run_failure_scenario(base_config(ProtocolKind::kStatic), cross);
+  EXPECT_FALSE(stat.recovered);
+
+  ScenarioConfig rip_config = base_config(ProtocolKind::kRip);
+  rip_config.measure = 20_s;
+  const ScenarioResult rip = run_failure_scenario(rip_config, cross);
+  EXPECT_TRUE(rip.recovered);  // multi-hop distance vector finds the relay
+}
+
+TEST(Comparison, NoFailureMeansNoLoss) {
+  const ScenarioResult result =
+      run_failure_scenario(base_config(ProtocolKind::kDrs), {});
+  EXPECT_TRUE(result.recovered);  // first post-"injection" probe succeeds
+  EXPECT_EQ(result.probes_lost, 0u);
+  EXPECT_LT(result.app_outage, 100_ms);
+}
+
+TEST(ProtocolKindNames, Strings) {
+  EXPECT_STREQ(to_string(ProtocolKind::kDrs), "drs");
+  EXPECT_STREQ(to_string(ProtocolKind::kRip), "rip");
+  EXPECT_STREQ(to_string(ProtocolKind::kStatic), "static");
+}
+
+}  // namespace
+}  // namespace drs::reactive

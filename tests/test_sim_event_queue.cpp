@@ -1,0 +1,147 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace drs::sim {
+namespace {
+
+using util::SimTime;
+
+SimTime at(std::int64_t ns) { return SimTime::from_ns(ns); }
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(at(30), [&] { order.push_back(3); });
+  q.push(at(10), [&] { order.push_back(1); });
+  q.push(at(20), [&] { order.push_back(2); });
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SameTimestampIsFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 20; ++i) {
+    q.push(at(100), [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop().fn();
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  bool ran = false;
+  const EventId id = q.push(at(10), [&] { ran = true; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, CancelTwiceFails) {
+  EventQueue q;
+  const EventId id = q.push(at(10), [] {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CancelUnknownOrInvalidFails) {
+  EventQueue q;
+  EXPECT_FALSE(q.cancel(kInvalidEventId));
+  EXPECT_FALSE(q.cancel(12345));
+}
+
+TEST(EventQueue, CancelExecutedFails) {
+  EventQueue q;
+  const EventId id = q.push(at(10), [] {});
+  q.pop().fn();
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, SizeTracksLiveEvents) {
+  EventQueue q;
+  const EventId a = q.push(at(1), [] {});
+  q.push(at(2), [] {});
+  EXPECT_EQ(q.size(), 2u);
+  q.cancel(a);
+  EXPECT_EQ(q.size(), 1u);
+  q.pop();
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, NextTimeSkipsCancelledHead) {
+  EventQueue q;
+  const EventId a = q.push(at(5), [] {});
+  q.push(at(9), [] {});
+  q.cancel(a);
+  EXPECT_EQ(q.next_time(), at(9));
+}
+
+TEST(EventQueue, NextTimeOnEmptyIsMax) {
+  EventQueue q;
+  EXPECT_EQ(q.next_time(), SimTime::max());
+}
+
+TEST(EventQueue, IsPendingLifecycle) {
+  EventQueue q;
+  const EventId id = q.push(at(1), [] {});
+  EXPECT_TRUE(q.is_pending(id));
+  q.pop();
+  EXPECT_FALSE(q.is_pending(id));
+}
+
+TEST(EventQueue, RandomizedOrderingProperty) {
+  // Push events with random times, pop everything: output must be sorted by
+  // (time, insertion order).
+  util::Rng rng(99);
+  EventQueue q;
+  struct Tag {
+    std::int64_t time;
+    std::uint64_t seq;
+  };
+  std::vector<Tag> popped;
+  for (std::uint64_t i = 0; i < 2000; ++i) {
+    const std::int64_t t = rng.next_int(0, 50);
+    q.push(at(t), [&popped, t, i] { popped.push_back({t, i}); });
+  }
+  while (!q.empty()) q.pop().fn();
+  ASSERT_EQ(popped.size(), 2000u);
+  for (std::size_t i = 1; i < popped.size(); ++i) {
+    const bool ordered = popped[i - 1].time < popped[i].time ||
+                         (popped[i - 1].time == popped[i].time &&
+                          popped[i - 1].seq < popped[i].seq);
+    ASSERT_TRUE(ordered) << "at index " << i;
+  }
+}
+
+TEST(EventQueue, RandomizedCancellationProperty) {
+  util::Rng rng(101);
+  EventQueue q;
+  std::vector<EventId> ids;
+  std::vector<bool> cancelled(3000, false);
+  int expected_runs = 0;
+  for (std::uint64_t i = 0; i < 3000; ++i) {
+    ids.push_back(q.push(at(rng.next_int(0, 100)), [] {}));
+  }
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (rng.next_bernoulli(0.5)) {
+      EXPECT_TRUE(q.cancel(ids[i]));
+      cancelled[i] = true;
+    } else {
+      ++expected_runs;
+    }
+  }
+  int runs = 0;
+  while (!q.empty()) {
+    q.pop();
+    ++runs;
+  }
+  EXPECT_EQ(runs, expected_runs);
+}
+
+}  // namespace
+}  // namespace drs::sim

@@ -1,0 +1,188 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/timer.hpp"
+
+namespace drs::sim {
+namespace {
+
+using namespace drs::util::literals;
+using util::SimTime;
+
+TEST(Simulator, ClockStartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), SimTime::zero());
+  EXPECT_TRUE(sim.idle());
+}
+
+TEST(Simulator, RunUntilAdvancesClockToDeadline) {
+  Simulator sim;
+  sim.run_until(SimTime::zero() + 5_s);
+  EXPECT_EQ(sim.now(), SimTime::zero() + 5_s);
+}
+
+TEST(Simulator, EventsSeeTheirOwnTimestamp) {
+  Simulator sim;
+  SimTime seen;
+  sim.schedule_after(3_ms, [&] { seen = sim.now(); });
+  sim.run_for(10_ms);
+  EXPECT_EQ(seen, SimTime::zero() + 3_ms);
+}
+
+TEST(Simulator, EventsChainAndNest) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_after(1_ms, [&] {
+    order.push_back(1);
+    sim.schedule_after(1_ms, [&] { order.push_back(3); });
+    sim.schedule_after(0_ms, [&] { order.push_back(2); });
+  });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.executed_events(), 3u);
+}
+
+TEST(Simulator, RunUntilExcludesLaterEvents) {
+  Simulator sim;
+  int runs = 0;
+  sim.schedule_after(1_ms, [&] { ++runs; });
+  sim.schedule_after(10_ms, [&] { ++runs; });
+  EXPECT_EQ(sim.run_for(5_ms), 1u);
+  EXPECT_EQ(runs, 1);
+  EXPECT_EQ(sim.pending_events(), 1u);
+}
+
+TEST(Simulator, EventAtDeadlineRuns) {
+  Simulator sim;
+  bool ran = false;
+  sim.schedule_after(5_ms, [&] { ran = true; });
+  sim.run_for(5_ms);
+  EXPECT_TRUE(ran);
+}
+
+TEST(Simulator, NegativeDelayClampsToNow) {
+  Simulator sim;
+  bool ran = false;
+  sim.schedule_after(-5_ms, [&] { ran = true; });
+  sim.run_for(0_ms);
+  EXPECT_TRUE(ran);
+}
+
+TEST(Simulator, HandleCancelStopsEvent) {
+  Simulator sim;
+  bool ran = false;
+  EventHandle handle = sim.schedule_after(1_ms, [&] { ran = true; });
+  EXPECT_TRUE(handle.pending());
+  EXPECT_TRUE(handle.cancel());
+  sim.run();
+  EXPECT_FALSE(ran);
+  EXPECT_FALSE(handle.pending());
+  EXPECT_FALSE(handle.cancel());  // second cancel is inert
+}
+
+TEST(Simulator, DefaultHandleIsInert) {
+  EventHandle handle;
+  EXPECT_FALSE(handle.pending());
+  EXPECT_FALSE(handle.cancel());
+}
+
+TEST(Simulator, StepExecutesExactlyOne) {
+  Simulator sim;
+  int runs = 0;
+  sim.schedule_after(1_ms, [&] { ++runs; });
+  sim.schedule_after(2_ms, [&] { ++runs; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(runs, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(PeriodicTimer, TicksAtPeriod) {
+  Simulator sim;
+  std::vector<SimTime> ticks;
+  PeriodicTimer timer(sim, 10_ms, [&] { ticks.push_back(sim.now()); });
+  timer.start();
+  sim.run_for(35_ms);
+  ASSERT_EQ(ticks.size(), 4u);  // t = 0, 10, 20, 30
+  EXPECT_EQ(ticks[0], SimTime::zero() + 0_ms);
+  EXPECT_EQ(ticks[1], SimTime::zero() + 10_ms);
+  EXPECT_EQ(ticks[2], SimTime::zero() + 20_ms);
+  EXPECT_EQ(ticks[3], SimTime::zero() + 30_ms);
+  EXPECT_EQ(timer.ticks(), 4u);
+}
+
+TEST(PeriodicTimer, InitialDelayShiftsPhase) {
+  Simulator sim;
+  std::vector<SimTime> ticks;
+  PeriodicTimer timer(sim, 10_ms, [&] { ticks.push_back(sim.now()); });
+  timer.start(4_ms);
+  sim.run_for(25_ms);
+  ASSERT_EQ(ticks.size(), 3u);
+  EXPECT_EQ(ticks[0], SimTime::zero() + 4_ms);
+  EXPECT_EQ(ticks[1], SimTime::zero() + 14_ms);
+}
+
+TEST(PeriodicTimer, StopInsideCallbackHalts) {
+  Simulator sim;
+  int count = 0;
+  PeriodicTimer timer(sim, 1_ms, [&] {
+    if (++count == 3) sim.schedule_after(0_ms, [&] { /* placeholder */ });
+  });
+  timer.start();
+  // stop from inside the 3rd tick:
+  PeriodicTimer stopper(sim, 1_ms, [&] {
+    if (count >= 3) timer.stop();
+  });
+  stopper.start();
+  sim.run_for(10_ms);
+  EXPECT_LE(count, 4);
+  EXPECT_FALSE(timer.running());
+}
+
+TEST(PeriodicTimer, StopAndRestart) {
+  Simulator sim;
+  int count = 0;
+  PeriodicTimer timer(sim, 5_ms, [&] { ++count; });
+  timer.start();
+  sim.run_for(11_ms);
+  EXPECT_EQ(count, 3);  // t = 0, 5, 10
+  timer.stop();
+  sim.run_for(20_ms);
+  EXPECT_EQ(count, 3);
+  timer.start();
+  sim.run_for(6_ms);
+  EXPECT_EQ(count, 5);  // t = 31, 36
+}
+
+TEST(PeriodicTimer, DestructorCancels) {
+  Simulator sim;
+  int count = 0;
+  {
+    PeriodicTimer timer(sim, 1_ms, [&] { ++count; });
+    timer.start();
+    sim.run_for(3_ms);
+  }
+  const int at_destroy = count;
+  sim.run_for(10_ms);
+  EXPECT_EQ(count, at_destroy);
+}
+
+TEST(PeriodicTimer, SetPeriodTakesEffectNextTick) {
+  Simulator sim;
+  std::vector<SimTime> ticks;
+  PeriodicTimer timer(sim, 10_ms, [&] { ticks.push_back(sim.now()); });
+  timer.start();
+  sim.run_for(1_ms);
+  timer.set_period(3_ms);
+  sim.run_for(15_ms);
+  // First tick at 0, next was already armed for 10, then every 3.
+  ASSERT_GE(ticks.size(), 3u);
+  EXPECT_EQ(ticks[1], SimTime::zero() + 10_ms);
+  EXPECT_EQ(ticks[2], SimTime::zero() + 13_ms);
+}
+
+}  // namespace
+}  // namespace drs::sim

@@ -1,0 +1,154 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <map>
+#include <set>
+#include <span>
+#include <vector>
+
+namespace drs::util {
+namespace {
+
+TEST(SplitMix, KnownSequenceIsStable) {
+  std::uint64_t state = 0;
+  const std::uint64_t a = splitmix64(state);
+  const std::uint64_t b = splitmix64(state);
+  std::uint64_t state2 = 0;
+  EXPECT_EQ(splitmix64(state2), a);
+  EXPECT_EQ(splitmix64(state2), b);
+  EXPECT_NE(a, b);
+}
+
+TEST(Mix64, OrderSensitiveAndDeterministic) {
+  EXPECT_EQ(mix64(1, 2), mix64(1, 2));
+  EXPECT_NE(mix64(1, 2), mix64(2, 1));
+  EXPECT_NE(mix64(0, 0), mix64(0, 1));
+}
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentStreamsDiffer) {
+  Rng a(42, 0), b(42, 1);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowOneIsAlwaysZero) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Rng, NextIntCoversInclusiveRange) {
+  Rng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.next_int(-2, 3));
+  EXPECT_EQ(seen, (std::set<std::int64_t>{-2, -1, 0, 1, 2, 3}));
+}
+
+TEST(Rng, BernoulliMeanApproximatesP) {
+  Rng rng(13);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.next_bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ExponentialMeanApproximatesParameter) {
+  Rng rng(17);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.next_exponential(2.5);
+  EXPECT_NEAR(sum / n, 2.5, 0.05);
+}
+
+TEST(Rng, UniformityChiSquaredCoarse) {
+  Rng rng(19);
+  constexpr int kBuckets = 16;
+  std::array<int, kBuckets> counts{};
+  const int n = 160000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[static_cast<std::size_t>(rng.next_below(kBuckets))];
+  }
+  const double expected = static_cast<double>(n) / kBuckets;
+  double chi2 = 0;
+  for (int c : counts) {
+    const double d = c - expected;
+    chi2 += d * d / expected;
+  }
+  // 15 dof; 99.9th percentile ~ 37.7. Deterministic seed, so not flaky.
+  EXPECT_LT(chi2, 37.7);
+}
+
+class SampleDistinctTest : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(SampleDistinctTest, ProducesSortedDistinctInRange) {
+  const auto [n, k] = GetParam();
+  Rng rng(23, static_cast<std::uint64_t>(n * 1000 + k));
+  std::vector<std::uint32_t> out;
+  for (int rep = 0; rep < 50; ++rep) {
+    rng.sample_distinct(static_cast<std::uint64_t>(n), static_cast<std::size_t>(k), out);
+    ASSERT_EQ(out.size(), static_cast<std::size_t>(k));
+    EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
+    EXPECT_TRUE(std::adjacent_find(out.begin(), out.end()) == out.end());
+    for (auto v : out) EXPECT_LT(v, static_cast<std::uint32_t>(n));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, SampleDistinctTest,
+                         ::testing::Values(std::pair{1, 0}, std::pair{1, 1},
+                                           std::pair{5, 5}, std::pair{10, 3},
+                                           std::pair{130, 10}, std::pair{64, 64},
+                                           std::pair{1000, 1}));
+
+TEST(SampleDistinct, UniformOverSubsets) {
+  // n=4, k=2: all 6 subsets should be ~equally likely.
+  Rng rng(29);
+  std::map<std::pair<std::uint32_t, std::uint32_t>, int> counts;
+  std::vector<std::uint32_t> out;
+  const int n = 60000;
+  for (int i = 0; i < n; ++i) {
+    rng.sample_distinct(4, 2, out);
+    ++counts[{out[0], out[1]}];
+  }
+  ASSERT_EQ(counts.size(), 6u);
+  for (const auto& [subset, count] : counts) {
+    EXPECT_NEAR(static_cast<double>(count) / n, 1.0 / 6.0, 0.01);
+  }
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(31);
+  std::vector<int> v{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  rng.shuffle(std::span<int>(v));
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}));
+}
+
+}  // namespace
+}  // namespace drs::util

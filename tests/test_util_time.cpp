@@ -1,0 +1,78 @@
+#include "util/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace drs::util {
+namespace {
+
+using namespace drs::util::literals;
+
+TEST(Duration, FactoryUnitsAgree) {
+  EXPECT_EQ(Duration::seconds(1).ns(), 1'000'000'000);
+  EXPECT_EQ(Duration::millis(1).ns(), 1'000'000);
+  EXPECT_EQ(Duration::micros(1).ns(), 1'000);
+  EXPECT_EQ(Duration::nanos(1).ns(), 1);
+  EXPECT_EQ(Duration::seconds(3), Duration::millis(3000));
+}
+
+TEST(Duration, LiteralsMatchFactories) {
+  EXPECT_EQ(5_s, Duration::seconds(5));
+  EXPECT_EQ(250_ms, Duration::millis(250));
+  EXPECT_EQ(7_us, Duration::micros(7));
+  EXPECT_EQ(42_ns, Duration::nanos(42));
+}
+
+TEST(Duration, ArithmeticIsExact) {
+  EXPECT_EQ((1_s + 500_ms).ns(), 1'500'000'000);
+  EXPECT_EQ((1_s - 1_ns).ns(), 999'999'999);
+  EXPECT_EQ((10_ms * 3).ns(), 30'000'000);
+  EXPECT_EQ((10_ms / 4).ns(), 2'500'000);
+  EXPECT_EQ(-(3_ms), Duration::millis(-3));
+}
+
+TEST(Duration, FromSecondsRoundsToNearestTick) {
+  EXPECT_EQ(Duration::from_seconds(1.5).ns(), 1'500'000'000);
+  EXPECT_EQ(Duration::from_seconds(1e-9).ns(), 1);
+  EXPECT_EQ(Duration::from_seconds(0.49e-9).ns(), 0);
+  EXPECT_EQ(Duration::from_seconds(-2.5e-9).ns(), -3);  // away from zero
+}
+
+TEST(Duration, ConversionsRoundTrip) {
+  const Duration d = 1234_us;
+  EXPECT_DOUBLE_EQ(d.to_seconds(), 1.234e-3);
+  EXPECT_DOUBLE_EQ(d.to_millis(), 1.234);
+  EXPECT_DOUBLE_EQ(d.to_micros(), 1234.0);
+}
+
+TEST(Duration, ComparisonIsTotalOrder) {
+  EXPECT_LT(1_ms, 2_ms);
+  EXPECT_LE(2_ms, 2_ms);
+  EXPECT_GT(1_s, 999_ms);
+  EXPECT_EQ(Duration::zero(), 0_ns);
+  EXPECT_LT(Duration::zero(), Duration::max());
+}
+
+TEST(SimTime, AffineArithmetic) {
+  const SimTime t0 = SimTime::zero();
+  const SimTime t1 = t0 + 5_s;
+  EXPECT_EQ(t1 - t0, 5_s);
+  EXPECT_EQ(t1 - 2_s, t0 + 3_s);
+  SimTime t = t0;
+  t += 100_ms;
+  EXPECT_EQ(t.ns(), 100'000'000);
+}
+
+TEST(SimTime, Ordering) {
+  EXPECT_LT(SimTime::zero(), SimTime::zero() + 1_ns);
+  EXPECT_LT(SimTime::zero() + 10_s, SimTime::max());
+}
+
+TEST(TimeFormatting, AdaptiveUnits) {
+  EXPECT_EQ(to_string(Duration::nanos(12)), "12 ns");
+  EXPECT_EQ(to_string(Duration::micros(3)), "3.000 us");
+  EXPECT_EQ(to_string(Duration::millis(1500)), "1.500 s");
+  EXPECT_EQ(to_string(250_ms), "250.000 ms");
+}
+
+}  // namespace
+}  // namespace drs::util
