@@ -1,0 +1,108 @@
+#include "chaos/campaign.hpp"
+
+#include <algorithm>
+
+#include "net/failure.hpp"
+
+namespace drs::chaos {
+
+core::DrsConfig fast_campaign_drs_config() {
+  core::DrsConfig config;
+  config.probe_interval = util::Duration::millis(50);
+  config.probe_timeout = util::Duration::millis(20);
+  config.failures_to_down = 2;
+  config.discover_timeout = util::Duration::millis(25);
+  return config;
+}
+
+CampaignResult run_campaign(std::uint64_t seed, std::uint64_t campaign,
+                            const CampaignConfig& config) {
+  const Schedule schedule =
+      generate_schedule(seed, campaign, config.schedule);
+  // The repair bound is always derived from the *healthy* timing: a crippled
+  // daemon set is judged against what the protocol promises, not against its
+  // sabotaged settings — that is what makes the checkers able to fail.
+  const util::Duration bound = core::worst_case_repair_bound(config.drs);
+
+  core::DrsConfig drs = config.drs;
+  if (config.cripple_detection) drs.failures_to_down = 1u << 30;
+
+  sim::Simulator sim;
+  net::ClusterNetwork network(
+      sim, {.node_count = config.schedule.node_count, .backplane = {}});
+  core::DrsSystem system(network, drs);
+  net::FailureInjector injector(network);
+  InvariantChecker checker(system, network);
+
+  CampaignResult result;
+  result.campaign = campaign;
+
+  system.start();
+  injector.schedule_script(schedule.actions);
+
+  // Distinct action times, ascending; the restore-all batch shares one time.
+  std::vector<util::SimTime> checkpoints;
+  std::vector<bool> checkpoint_has_fail;
+  for (const net::FailureAction& action : schedule.actions) {
+    if (checkpoints.empty() || checkpoints.back() != action.at) {
+      checkpoints.push_back(action.at);
+      checkpoint_has_fail.push_back(action.fail);
+    } else {
+      checkpoint_has_fail.back() = checkpoint_has_fail.back() || action.fail;
+    }
+  }
+
+  for (std::size_t i = 0; i < checkpoints.size(); ++i) {
+    const util::SimTime t = checkpoints[i];
+    if (sim.now() < t) sim.run_until(t);  // applies the action(s) at t
+
+    if (checkpoint_has_fail[i]) {
+      // Failover-latency probe: poll full reachability until it is restored
+      // or the repair bound is blown. A healthy protocol repairs within the
+      // bound; a crippled one trips kInvariantFailoverLatency here.
+      const util::SimTime deadline = t + bound;
+      const bool disrupted =
+          !checker.all_connected_pairs_reachable(config.echo_timeout);
+      bool recovered = !disrupted;
+      while (!recovered && sim.now() < deadline) {
+        sim.run_for(config.latency_probe_step);
+        recovered = checker.all_connected_pairs_reachable(config.echo_timeout);
+      }
+      if (disrupted) {
+        if (recovered) {
+          result.failover_latencies_ms.push_back((sim.now() - t).to_millis());
+        } else {
+          result.violations.push_back(Violation{
+              kInvariantFailoverLatency, sim.now(),
+              "reachability not restored within " +
+                  util::to_string(bound) + " of the failure"});
+        }
+      }
+      ++result.checks;
+    }
+
+    // Quiet point: the detection window has elapsed and (by schedule
+    // construction) the next action is still ahead. Assert the steady-state
+    // invariants.
+    if (sim.now() < t + bound) sim.run_until(t + bound);
+    result.checks += checker.check_no_blackhole(result.violations,
+                                                config.echo_timeout);
+    result.checks += checker.check_no_routing_cycle(result.violations);
+  }
+
+  // Everything is restored; after the convergence window the cluster must be
+  // indistinguishable from one that never saw a failure.
+  sim.run_until(schedule.end + config.settle);
+  result.checks += checker.check_detour_cleanup(result.violations);
+  result.checks +=
+      checker.check_no_blackhole(result.violations, config.echo_timeout);
+  result.checks += checker.check_no_routing_cycle(result.violations);
+
+  system.stop();
+  result.actions_applied = injector.log().size();
+  result.sim_events = sim.executed_events();
+  result.sim_seconds = sim.now().to_seconds();
+  return result;
+}
+
+}  // namespace drs::chaos

@@ -1,0 +1,82 @@
+// Runtime invariant checkers for the chaos campaigns.
+//
+// Following the survivability-case-study approach, the campaign does not
+// merely observe endpoint outcomes — it checks explicit system invariants
+// against the network's ground truth while the simulation runs:
+//
+//   (a) no_blackhole      — after the detection window, every pair of nodes
+//                           the component model (analytic::pair_connected)
+//                           says is physically connected answers a routed
+//                           echo. A reachable topology with unreachable
+//                           endpoints is a routing blackhole.
+//   (b) detour_cleanup    — once every component is restored and the cluster
+//                           has had a convergence window, no DRS routes,
+//                           relay leases, detour modes or DOWN verdicts may
+//                           remain (DrsSystem::all_pristine).
+//   (c) no_routing_cycle  — the forwarding graph induced by the per-host
+//                           routing tables never cycles for any destination
+//                           address, at any check point.
+//   (d) failover_latency  — measured in the campaign loop: a physically
+//                           surviving topology must regain full reachability
+//                           within core::worst_case_repair_bound.
+//
+// Checks (a) and the latency probe advance simulated time (they send real
+// routed echoes); (b) and (c) are pure state inspections.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analytic/enumerate.hpp"
+#include "core/system.hpp"
+#include "net/network.hpp"
+
+namespace drs::chaos {
+
+inline constexpr const char* kInvariantNoBlackhole = "no_blackhole";
+inline constexpr const char* kInvariantDetourCleanup = "detour_cleanup";
+inline constexpr const char* kInvariantNoRoutingCycle = "no_routing_cycle";
+inline constexpr const char* kInvariantFailoverLatency = "failover_latency";
+
+struct Violation {
+  std::string invariant;
+  util::SimTime at;
+  std::string detail;
+};
+
+class InvariantChecker {
+ public:
+  InvariantChecker(core::DrsSystem& system, net::ClusterNetwork& network)
+      : system_(system), network_(network) {}
+
+  /// The network's current failure pattern in the analytic component model.
+  analytic::ComponentSet current_failed() const;
+
+  /// (a) Sends a routed echo for every physically-connected pair; appends a
+  /// violation per pair that stays dark. The failure pattern is re-read
+  /// before each pair and a failed echo is retried once, so a pattern change
+  /// mid-check (possible when earlier echoes burned their timeout) cannot
+  /// produce a false verdict. Returns the number of pairs checked.
+  std::size_t check_no_blackhole(std::vector<Violation>& out,
+                                 util::Duration echo_timeout);
+
+  /// (b) Asserts the pristine steady state; call only after everything is
+  /// restored and a convergence window has elapsed. Returns checks performed.
+  std::size_t check_detour_cleanup(std::vector<Violation>& out);
+
+  /// (c) Walks next-hops from every node toward every cluster address and
+  /// appends a violation per forwarding cycle. Returns walks performed.
+  std::size_t check_no_routing_cycle(std::vector<Violation>& out);
+
+  /// Latency-probe helper: true iff every currently physically-connected
+  /// pair answers a routed echo right now (advances time by at most
+  /// pairs * echo_timeout).
+  bool all_connected_pairs_reachable(util::Duration echo_timeout);
+
+ private:
+  core::DrsSystem& system_;
+  net::ClusterNetwork& network_;
+};
+
+}  // namespace drs::chaos

@@ -1,0 +1,110 @@
+// ChaosReport rendering: canonical JSON for machines, a summary for humans.
+#include <cstdio>
+
+#include "chaos/runner.hpp"
+#include "util/json.hpp"
+
+namespace drs::chaos {
+
+std::string ChaosReport::to_json() const {
+  util::JsonWriter json;
+  json.begin_object()
+      .field("seed", seed)
+      .field("first_campaign", first_campaign)
+      .field("campaigns", campaigns)
+      .field("nodes", static_cast<std::uint64_t>(node_count))
+      .field("crippled", crippled)
+      .field("actions_applied", actions_applied)
+      .field("checks", checks)
+      .field("total_violations", total_violations)
+      .field("campaigns_with_violations", campaigns_with_violations);
+  json.key("violations").begin_object();
+  for (const auto& [invariant, count] : violations_by_invariant) {
+    json.field(invariant, count);
+  }
+  json.end_object();
+  json.key("failover_latency_ms").begin_object();
+  json.field("samples", static_cast<std::uint64_t>(latency_ms.count()))
+      .field("mean", latency_ms.mean())
+      .field("stddev", latency_ms.stddev())
+      .field("min", latency_ms.count() ? latency_ms.min() : 0.0)
+      .field("max", latency_ms.count() ? latency_ms.max() : 0.0);
+  for (std::size_t i = 0; i < latency_quantiles.size(); ++i) {
+    char key[16];
+    std::snprintf(key, sizeof key, "p%g", latency_quantiles[i] * 100.0);
+    json.field(key, latency_quantile_values[i]);
+  }
+  json.end_object();
+  json.key("latency_histogram").begin_array();
+  for (std::size_t b = 0; b < latency_histogram.bucket_count(); ++b) {
+    if (latency_histogram.bucket(b) == 0) continue;
+    json.begin_object()
+        .field("lo_ms", latency_histogram.bucket_lo(b))
+        .field("hi_ms", latency_histogram.bucket_hi(b))
+        .field("count", latency_histogram.bucket(b))
+        .end_object();
+  }
+  json.end_array();
+  json.field("sim_events", sim_events).field("sim_seconds", sim_seconds);
+  json.key("sample_violations").begin_array();
+  for (const ReportedViolation& sample : sample_violations) {
+    json.begin_object()
+        .field("campaign", sample.campaign)
+        .field("invariant", sample.violation.invariant)
+        .field("sim_time_s", sample.violation.at.to_seconds())
+        .field("detail", sample.violation.detail)
+        .end_object();
+  }
+  json.end_array();
+  json.end_object();
+  return json.str();
+}
+
+std::string ChaosReport::summary() const {
+  char buf[512];
+  std::string out;
+  std::snprintf(buf, sizeof buf,
+                "chaos: seed=%llu campaigns=[%llu, %llu) nodes=%u%s\n",
+                static_cast<unsigned long long>(seed),
+                static_cast<unsigned long long>(first_campaign),
+                static_cast<unsigned long long>(first_campaign + campaigns),
+                node_count, crippled ? " [CRIPPLED]" : "");
+  out += buf;
+  std::snprintf(buf, sizeof buf,
+                "  %llu actions, %llu invariant checks, %.1f simulated s "
+                "across %llu events\n",
+                static_cast<unsigned long long>(actions_applied),
+                static_cast<unsigned long long>(checks), sim_seconds,
+                static_cast<unsigned long long>(sim_events));
+  out += buf;
+  std::snprintf(
+      buf, sizeof buf, "  violations: %llu total in %llu campaign(s)\n",
+      static_cast<unsigned long long>(total_violations),
+      static_cast<unsigned long long>(campaigns_with_violations));
+  out += buf;
+  for (const auto& [invariant, count] : violations_by_invariant) {
+    std::snprintf(buf, sizeof buf, "    %-18s %llu\n", invariant.c_str(),
+                  static_cast<unsigned long long>(count));
+    out += buf;
+  }
+  if (latency_ms.count() > 0) {
+    std::snprintf(buf, sizeof buf,
+                  "  failover latency (ms): n=%zu mean=%.1f p50=%.1f "
+                  "p90=%.1f p99=%.1f max=%.1f\n",
+                  latency_ms.count(), latency_ms.mean(),
+                  latency_quantile_values[0], latency_quantile_values[1],
+                  latency_quantile_values[2], latency_ms.max());
+    out += buf;
+  }
+  for (const ReportedViolation& sample : sample_violations) {
+    std::snprintf(buf, sizeof buf, "  ! campaign %llu @%.3fs [%s] %s\n",
+                  static_cast<unsigned long long>(sample.campaign),
+                  sample.violation.at.to_seconds(),
+                  sample.violation.invariant.c_str(),
+                  sample.violation.detail.c_str());
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace drs::chaos

@@ -1,0 +1,60 @@
+#include "chaos/runner.hpp"
+
+#include <algorithm>
+
+#include "util/parallel.hpp"
+
+namespace drs::chaos {
+
+ChaosReport run_chaos(const ChaosOptions& options) {
+  const std::vector<CampaignResult> results = util::run_indexed_jobs(
+      options.campaigns, options.threads, [&](std::uint64_t i) {
+        return run_campaign(options.seed, options.first_campaign + i,
+                            options.campaign);
+      });
+
+  ChaosReport report;
+  report.seed = options.seed;
+  report.first_campaign = options.first_campaign;
+  report.campaigns = options.campaigns;
+  report.node_count = options.campaign.schedule.node_count;
+  report.crippled = options.campaign.cripple_detection;
+  for (const char* invariant :
+       {kInvariantNoBlackhole, kInvariantDetourCleanup,
+        kInvariantNoRoutingCycle, kInvariantFailoverLatency}) {
+    report.violations_by_invariant[invariant] = 0;
+  }
+
+  // Sequential aggregation in campaign order: identical for any thread count.
+  for (const CampaignResult& result : results) {
+    report.actions_applied += result.actions_applied;
+    report.checks += result.checks;
+    report.sim_events += result.sim_events;
+    report.sim_seconds += result.sim_seconds;
+    if (!result.violations.empty()) ++report.campaigns_with_violations;
+    report.total_violations += result.violations.size();
+    for (const Violation& violation : result.violations) {
+      ++report.violations_by_invariant[violation.invariant];
+      if (report.sample_violations.size() < options.max_recorded_violations) {
+        report.sample_violations.push_back(
+            ReportedViolation{result.campaign, violation});
+      }
+    }
+    for (const double ms : result.failover_latencies_ms) {
+      report.latency_ms.add(ms);
+      report.latency_histogram.add(ms);
+    }
+  }
+  for (const double q : report.latency_quantiles) {
+    // Bucket interpolation can land above the largest observed sample; a
+    // reported p99 must never exceed the reported max.
+    report.latency_quantile_values.push_back(
+        report.latency_ms.count()
+            ? std::min(report.latency_histogram.quantile(q),
+                       report.latency_ms.max())
+            : 0.0);
+  }
+  return report;
+}
+
+}  // namespace drs::chaos

@@ -1,0 +1,79 @@
+// Sharded chaos-campaign runner and the aggregated run report.
+//
+// Campaigns are independent simulations, so the runner fans them across
+// worker threads with util::run_indexed_jobs and aggregates the per-campaign
+// results sequentially in campaign order. Two consequences the tests pin
+// down: a report is bit-reproducible for a fixed (seed, options), and it is
+// invariant to the thread count.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "chaos/campaign.hpp"
+#include "util/stats.hpp"
+
+namespace drs::chaos {
+
+struct ChaosOptions {
+  std::uint64_t seed = 0xC4A05ULL;
+  /// Index of the first campaign — replay a flagged campaign I alone with
+  /// first_campaign = I, campaigns = 1 and the same seed.
+  std::uint64_t first_campaign = 0;
+  std::uint64_t campaigns = 100;
+  /// Worker threads; 0 = hardware_concurrency.
+  unsigned threads = 0;
+  CampaignConfig campaign;
+  /// Cap on fully-detailed violations retained in the report (counts are
+  /// always exact; details are evidence for the first offenders).
+  std::size_t max_recorded_violations = 32;
+};
+
+/// One retained violation with its campaign coordinate.
+struct ReportedViolation {
+  std::uint64_t campaign = 0;
+  Violation violation;
+};
+
+struct ChaosReport {
+  // Echo of the run coordinates (what to pass to replay it).
+  std::uint64_t seed = 0;
+  std::uint64_t first_campaign = 0;
+  std::uint64_t campaigns = 0;
+  std::uint16_t node_count = 0;
+  bool crippled = false;
+
+  std::uint64_t actions_applied = 0;
+  std::uint64_t checks = 0;
+  std::uint64_t total_violations = 0;
+  std::uint64_t campaigns_with_violations = 0;
+  /// Exact violation counts keyed by invariant name (all four keys present).
+  std::map<std::string, std::uint64_t> violations_by_invariant;
+
+  /// Failover-latency distribution across every disruptive failure.
+  util::RunningStats latency_ms;
+  std::vector<double> latency_quantiles{0.5, 0.9, 0.99};  // probed q values
+  std::vector<double> latency_quantile_values;            // same order
+  util::Histogram latency_histogram{0.0, 500.0, 25};
+
+  /// Aggregate simulation cost.
+  std::uint64_t sim_events = 0;
+  double sim_seconds = 0.0;
+
+  std::vector<ReportedViolation> sample_violations;
+
+  bool clean() const { return total_violations == 0; }
+
+  /// Canonical JSON rendering (single line, fixed key order) — byte-equal
+  /// reports mean equal runs, which the determinism tests exploit.
+  std::string to_json() const;
+  /// Human-oriented multi-line summary for the bench output.
+  std::string summary() const;
+};
+
+/// Runs the campaign range and aggregates the report deterministically.
+ChaosReport run_chaos(const ChaosOptions& options);
+
+}  // namespace drs::chaos

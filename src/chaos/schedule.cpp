@@ -1,0 +1,63 @@
+#include "chaos/schedule.hpp"
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace drs::chaos {
+
+namespace {
+/// Stream salt separating schedule draws from every other consumer of the
+/// master seed (mc estimators use their own salts).
+constexpr std::uint64_t kScheduleSalt = 0xC4A05C4A05ULL;
+}  // namespace
+
+Schedule generate_schedule(std::uint64_t seed, std::uint64_t campaign,
+                           const ScheduleConfig& config) {
+  util::Rng rng(seed, util::mix64(campaign, kScheduleSalt));
+  const auto component_count =
+      static_cast<std::uint32_t>(2u * config.node_count + 2u);
+
+  Schedule schedule;
+  schedule.actions.reserve(config.events + config.max_concurrent_failures);
+
+  std::vector<net::ComponentIndex> failed;   // currently-down components
+  std::vector<net::ComponentIndex> healthy;  // the rest
+  healthy.reserve(component_count);
+  for (net::ComponentIndex c = 0; c < component_count; ++c) healthy.push_back(c);
+
+  util::SimTime at = util::SimTime::zero() + config.start;
+  for (std::uint64_t e = 0; e < config.events; ++e) {
+    const bool can_fail = failed.size() < config.max_concurrent_failures;
+    const bool can_restore = !failed.empty();
+    const bool restore =
+        can_restore && (!can_fail || rng.next_bernoulli(config.restore_bias));
+    auto& from = restore ? failed : healthy;
+    auto& to = restore ? healthy : failed;
+    const std::size_t pick =
+        static_cast<std::size_t>(rng.next_below(from.size()));
+    const net::ComponentIndex component = from[pick];
+    from.erase(from.begin() + static_cast<std::ptrdiff_t>(pick));
+    to.push_back(component);
+    schedule.actions.push_back(
+        net::FailureAction{at, component, /*fail=*/!restore});
+    at += config.min_gap;
+    if (config.max_jitter > util::Duration::zero()) {
+      at += util::Duration::nanos(static_cast<std::int64_t>(
+          rng.next_below(static_cast<std::uint64_t>(config.max_jitter.ns()))));
+    }
+  }
+  schedule.churn_events = schedule.actions.size();
+
+  // Final batch: restore everything still failed (ascending for determinism
+  // independent of the draw order above).
+  std::sort(failed.begin(), failed.end());
+  for (const net::ComponentIndex component : failed) {
+    schedule.actions.push_back(
+        net::FailureAction{at, component, /*fail=*/false});
+  }
+  schedule.end = at;
+  return schedule;
+}
+
+}  // namespace drs::chaos

@@ -80,4 +80,18 @@ struct DrsConfig {
   std::optional<std::vector<net::NodeId>> monitored_peers;
 };
 
+/// Upper bound on the time this configuration needs to detect a topology
+/// change and have repaired routes in force. Detection takes failures_to_down
+/// consecutive losses, plus one cycle because the change can land just after
+/// a cycle's probe and one more for probe spreading; then the final probe's
+/// timeout, then up to two relay-discovery rounds (the first round can come
+/// up empty and be retried next cycle), plus a small in-flight margin. The
+/// chaos invariant checkers treat reachability gaps longer than this as
+/// protocol violations.
+inline util::Duration worst_case_repair_bound(const DrsConfig& c) {
+  return c.probe_interval * static_cast<std::int64_t>(c.failures_to_down + 2) +
+         c.probe_timeout * 2 + c.discover_timeout * 2 +
+         util::Duration::millis(50);
+}
+
 }  // namespace drs::core

@@ -42,6 +42,21 @@ std::uint64_t DrsSystem::total_route_installs() const {
   return total;
 }
 
+bool DrsSystem::all_pristine() const {
+  const std::uint16_t n = network_.node_count();
+  for (net::NodeId i = 0; i < n; ++i) {
+    const DrsDaemon& daemon = *daemons_.at(i);
+    if (!daemon.host_routes_empty() || daemon.active_leases() != 0 ||
+        daemon.links().down_count() != 0) {
+      return false;
+    }
+    for (net::NodeId j = 0; j < n; ++j) {
+      if (i != j && daemon.peer_mode(j) != PeerRouteMode::kDirect) return false;
+    }
+  }
+  return true;
+}
+
 bool DrsSystem::test_reachability(net::NodeId a, net::NodeId b,
                                   util::Duration timeout) {
   bool replied = false;

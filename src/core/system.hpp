@@ -30,6 +30,12 @@ class DrsSystem {
   std::uint64_t total_control_messages() const;
   std::uint64_t total_route_installs() const;
 
+  /// True when every daemon is back to the healthy steady state: all peers in
+  /// direct mode, no DRS routes installed, no relay leases, no links DOWN.
+  /// This is the condition a fully-restored cluster must converge to — the
+  /// chaos runner's detour-cleanup invariant.
+  bool all_pristine() const;
+
   /// End-to-end check: sends a *routed* echo from `a` to `b`'s primary
   /// address and advances the simulation until it concludes (at most
   /// `timeout`). Returns whether a reply arrived. Note this moves simulated

@@ -1,10 +1,9 @@
 #include "montecarlo/estimator.hpp"
 
-#include <atomic>
-#include <thread>
 #include <vector>
 
 #include "montecarlo/component_model.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 
 namespace drs::mc {
@@ -38,42 +37,20 @@ Estimate run_estimate(std::int64_t nodes, std::int64_t failures,
                       Trial&& trial) {
   const std::uint64_t block_size = options.block_size == 0 ? 4096 : options.block_size;
   const std::uint64_t blocks = (options.iterations + block_size - 1) / block_size;
-  unsigned threads = options.threads;
-  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
-  threads = static_cast<unsigned>(
-      std::min<std::uint64_t>(threads, std::max<std::uint64_t>(blocks, 1)));
 
-  auto block_iterations = [&](std::uint64_t block) {
-    const std::uint64_t start = block * block_size;
-    return std::min(block_size, options.iterations - start);
-  };
-
-  std::uint64_t successes = 0;
-  if (threads <= 1) {
-    for (std::uint64_t b = 0; b < blocks; ++b) {
-      successes += run_block(nodes, failures, options.seed, salt, b,
-                             block_iterations(b), trial);
-    }
-  } else {
-    std::atomic<std::uint64_t> next_block{0};
-    std::atomic<std::uint64_t> total{0};
-    std::vector<std::thread> workers;
-    workers.reserve(threads);
-    for (unsigned t = 0; t < threads; ++t) {
-      workers.emplace_back([&] {
-        std::uint64_t local = 0;
-        while (true) {
-          const std::uint64_t b = next_block.fetch_add(1, std::memory_order_relaxed);
-          if (b >= blocks) break;
-          local += run_block(nodes, failures, options.seed, salt, b,
-                             block_iterations(b), trial);
-        }
-        total.fetch_add(local, std::memory_order_relaxed);
+  // Blocks fan out through the shared deterministic job runner; each block's
+  // stream depends on its index alone, and the reduction is a plain sum, so
+  // the estimate is thread-count invariant.
+  const std::vector<std::uint64_t> per_block = util::run_indexed_jobs(
+      blocks, options.threads, [&](std::uint64_t block) {
+        const std::uint64_t start = block * block_size;
+        const std::uint64_t iterations =
+            std::min(block_size, options.iterations - start);
+        return run_block(nodes, failures, options.seed, salt, block, iterations,
+                         trial);
       });
-    }
-    for (auto& worker : workers) worker.join();
-    successes = total.load();
-  }
+  std::uint64_t successes = 0;
+  for (const std::uint64_t s : per_block) successes += s;
 
   Estimate estimate;
   estimate.successes = successes;

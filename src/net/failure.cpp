@@ -27,6 +27,11 @@ void FailureInjector::apply_now(ComponentIndex component, bool fail) {
   DRS_INFO("failure", "t=%s %s %s", util::to_string(now).c_str(),
            fail ? "FAIL" : "RESTORE",
            network_.component(component).to_string().c_str());
+  if (observer_) observer_(log_.back());
+}
+
+void FailureInjector::schedule_script(const std::vector<FailureAction>& actions) {
+  for (const FailureAction& action : actions) schedule(action);
 }
 
 std::vector<ComponentIndex> FailureInjector::schedule_random_failures(

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -36,6 +37,10 @@ class FailureInjector {
   /// Applies `fail`/restore immediately (bypasses the event queue).
   void apply_now(ComponentIndex component, bool fail);
 
+  /// Schedules every action of a pre-generated script (the chaos campaign's
+  /// replayable schedules arrive this way). Actions may be in any order.
+  void schedule_script(const std::vector<FailureAction>& actions);
+
   /// Draws `count` distinct components to fail at `at`, uniformly over all
   /// 2N+2 components — exactly the survivability model's failure draw.
   std::vector<ComponentIndex> schedule_random_failures(util::SimTime at,
@@ -51,9 +56,16 @@ class FailureInjector {
   std::size_t currently_failed() const;
   ClusterNetwork& network() { return network_; }
 
+  /// Observation hook: called after every applied action (scheduled or
+  /// immediate), with the entry just logged. Runtime invariant checkers use
+  /// this to learn topology-change times without owning the schedule.
+  using Observer = std::function<void(const LogEntry&)>;
+  void set_observer(Observer observer) { observer_ = std::move(observer); }
+
  private:
   ClusterNetwork& network_;
   std::vector<LogEntry> log_;
+  Observer observer_;
 };
 
 }  // namespace drs::net

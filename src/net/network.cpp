@@ -84,6 +84,14 @@ bool ClusterNetwork::component_failed(ComponentIndex index) const {
   return backplanes_.at(ref.network)->failed();
 }
 
+std::vector<ComponentIndex> ClusterNetwork::failed_components() const {
+  std::vector<ComponentIndex> failed;
+  for (ComponentIndex c = 0; c < component_count(); ++c) {
+    if (component_failed(c)) failed.push_back(c);
+  }
+  return failed;
+}
+
 void ClusterNetwork::heal_all() {
   for (ComponentIndex c = 0; c < component_count(); ++c) {
     set_component_failed(c, false);

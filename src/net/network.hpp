@@ -63,6 +63,9 @@ class ClusterNetwork {
 
   void set_component_failed(ComponentIndex index, bool failed);
   bool component_failed(ComponentIndex index) const;
+  /// Observation hook: indices of every currently-failed component, ascending
+  /// — the network-side ground truth the invariant checkers compare against.
+  std::vector<ComponentIndex> failed_components() const;
   /// Restores every component to healthy.
   void heal_all();
 

@@ -54,6 +54,10 @@ class Simulator {
 
   bool idle() const { return queue_.empty(); }
   std::size_t pending_events() const { return queue_.size(); }
+  /// Observation hook: time of the earliest pending event, SimTime::max()
+  /// when idle. Lets external drivers (the chaos campaign's latency probe)
+  /// hop between activity instead of polling blind.
+  util::SimTime next_event_time() const { return queue_.next_time(); }
   std::uint64_t executed_events() const { return executed_; }
 
  private:

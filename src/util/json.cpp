@@ -1,0 +1,124 @@
+#include "util/json.hpp"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+namespace drs::util {
+
+void JsonWriter::comma() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!has_item_.empty()) {
+    if (has_item_.back()) out_ += ',';
+    has_item_.back() = true;
+  }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  comma();
+  out_ += '{';
+  has_item_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  has_item_.pop_back();
+  out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  comma();
+  out_ += '[';
+  has_item_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  has_item_.pop_back();
+  out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& name) {
+  comma();
+  out_ += '"';
+  out_ += escape(name);
+  out_ += "\":";
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& s) {
+  comma();
+  out_ += '"';
+  out_ += escape(s);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* s) { return value(std::string(s)); }
+
+JsonWriter& JsonWriter::value(bool b) {
+  comma();
+  out_ += b ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  comma();
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%" PRId64, v);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  comma();
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  comma();
+  if (!std::isfinite(v)) {
+    out_ += "null";  // JSON has no Inf/NaN
+    return *this;
+  }
+  char buf[40];
+  // %.9g round-trips every value this project emits (ms latencies, ratios)
+  // and is byte-stable for identical inputs, which replay comparison needs.
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  out_ += buf;
+  return *this;
+}
+
+std::string JsonWriter::escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace drs::util

@@ -1,0 +1,54 @@
+// Minimal streaming JSON writer for machine-readable run reports.
+//
+// The chaos-campaign runner emits a structured summary per run; keeping the
+// writer tiny (objects, arrays, scalars, deterministic number formatting)
+// avoids a third-party dependency while staying parseable by any tooling.
+// Output is canonical for a given call sequence: no whitespace, keys in the
+// order written — so byte-comparing two reports is a valid equality check.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace drs::util {
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Writes an object key; must be followed by exactly one value.
+  JsonWriter& key(const std::string& name);
+
+  JsonWriter& value(const std::string& s);
+  JsonWriter& value(const char* s);
+  JsonWriter& value(bool b);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(double v);
+
+  /// Convenience: key + scalar value in one call.
+  template <typename T>
+  JsonWriter& field(const std::string& name, const T& v) {
+    key(name);
+    return value(v);
+  }
+
+  const std::string& str() const { return out_; }
+
+  /// Escapes a string per RFC 8259 (quotes, backslash, control chars).
+  static std::string escape(const std::string& s);
+
+ private:
+  void comma();
+
+  std::string out_;
+  /// One entry per open container: whether a value has been written in it.
+  std::vector<bool> has_item_;
+  bool after_key_ = false;
+};
+
+}  // namespace drs::util

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "analytic/enumerate.hpp"
 #include "analytic/survivability.hpp"
 #include "montecarlo/component_model.hpp"
 #include "montecarlo/convergence.hpp"
@@ -96,6 +97,56 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(std::tuple{4, 2}, std::tuple{8, 2}, std::tuple{8, 4},
                       std::tuple{16, 3}, std::tuple{24, 5}, std::tuple{32, 4},
                       std::tuple{48, 2}, std::tuple{63, 10}));
+
+// Property-based cross-check against the exhaustive enumeration (rather than
+// the closed form): for every small (N, f) the sampled estimate must bracket
+// the exact subset count's probability with its own Wilson interval. This
+// ties the sampler to the ground-truth `pair_connected` semantics with no
+// algebra in between.
+class EstimatorVsEnumeration
+    : public ::testing::TestWithParam<std::tuple<std::int64_t, std::int64_t>> {};
+
+TEST_P(EstimatorVsEnumeration, ExactProbabilityInsideWilsonInterval) {
+  const auto [nodes, failures] = GetParam();
+  const double exact =
+      analytic::enumerate_success_count(nodes, failures).probability();
+  EstimateOptions options;
+  options.iterations = 40000;
+  options.seed = 0xE9;  // fixed: the assertion is deterministic, not flaky
+  const Estimate estimate = estimate_p_success(nodes, failures, options);
+  // Widen the 95 % interval slightly so a legitimate ~2σ draw on one of the
+  // 25 grid points cannot fail the suite.
+  const double slack =
+      0.5 * (estimate.wilson95.hi - estimate.wilson95.lo) + 1e-9;
+  EXPECT_GE(exact, estimate.wilson95.lo - slack)
+      << "N=" << nodes << " f=" << failures << " p=" << estimate.p;
+  EXPECT_LE(exact, estimate.wilson95.hi + slack)
+      << "N=" << nodes << " f=" << failures << " p=" << estimate.p;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, EstimatorVsEnumeration,
+                         ::testing::Combine(::testing::Range<std::int64_t>(4, 9),
+                                            ::testing::Range<std::int64_t>(1,
+                                                                           6)));
+
+TEST(Estimator, SystemSuccessThreadCountInvariant) {
+  // Same block-determinism contract for the all-pairs criterion: the successes
+  // count is bit-identical for 1, 2 and 8 workers.
+  EstimateOptions base;
+  base.iterations = 20000;
+  base.seed = 424242;
+  base.block_size = 512;
+  base.threads = 1;
+  const Estimate single = estimate_system_success(12, 4, base);
+  EXPECT_GT(single.successes, 0u);
+  for (unsigned threads : {2u, 8u}) {
+    EstimateOptions options = base;
+    options.threads = threads;
+    const Estimate parallel = estimate_system_success(12, 4, options);
+    EXPECT_EQ(parallel.successes, single.successes) << threads << " threads";
+    EXPECT_EQ(parallel.p, single.p) << threads << " threads";
+  }
+}
 
 TEST(Estimator, ExactForDegenerateCases) {
   EstimateOptions options;

@@ -116,6 +116,57 @@ TEST_F(ClusterNetworkTest, RandomFailuresAreDistinctAndInRange) {
   EXPECT_EQ(injector.currently_failed(), 5u);
 }
 
+TEST_F(ClusterNetworkTest, RandomFailuresFullDrawCoversEveryComponent) {
+  // The boundary draw: count == 2N+2 asks for *every* component. Floyd's
+  // sampling must terminate (no rejection loop over a full urn) and yield
+  // each component exactly once.
+  FailureInjector injector(network);
+  util::Rng rng(9);
+  const std::size_t all = network.component_count();
+  const auto picked =
+      injector.schedule_random_failures(util::SimTime::zero() + 1_ms, all, rng);
+  ASSERT_EQ(picked.size(), all);
+  std::set<ComponentIndex> unique(picked.begin(), picked.end());
+  EXPECT_EQ(unique.size(), all);
+  EXPECT_EQ(*unique.begin(), 0u);
+  EXPECT_EQ(*unique.rbegin(), static_cast<ComponentIndex>(all - 1));
+  sim.run_for(2_ms);
+  EXPECT_EQ(injector.currently_failed(), all);
+}
+
+TEST_F(ClusterNetworkTest, ScheduleScriptAppliesOutOfOrderActions) {
+  FailureInjector injector(network);
+  injector.schedule_script({{util::SimTime::zero() + 30_ms, 2, false},
+                            {util::SimTime::zero() + 10_ms, 2, true},
+                            {util::SimTime::zero() + 20_ms, 7, true}});
+  sim.run_for(15_ms);
+  EXPECT_TRUE(network.component_failed(2));
+  sim.run_for(20_ms);  // t = 35 ms
+  EXPECT_FALSE(network.component_failed(2));
+  EXPECT_TRUE(network.component_failed(7));
+  ASSERT_EQ(injector.log().size(), 3u);
+  EXPECT_EQ(injector.log()[0].component, 2u);  // log is in application order
+  EXPECT_EQ(injector.log()[1].component, 7u);
+  EXPECT_EQ(injector.log()[2].component, 2u);
+}
+
+TEST_F(ClusterNetworkTest, ObserverSeesEveryAppliedAction) {
+  FailureInjector injector(network);
+  std::vector<FailureInjector::LogEntry> seen;
+  injector.set_observer(
+      [&](const FailureInjector::LogEntry& entry) { seen.push_back(entry); });
+  injector.apply_now(4, true);
+  injector.schedule_outage(util::SimTime::zero() + 5_ms, 9, 5_ms);
+  sim.run_for(20_ms);
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0].component, 4u);
+  EXPECT_TRUE(seen[0].fail);
+  EXPECT_EQ(seen[1].component, 9u);
+  EXPECT_TRUE(seen[1].fail);
+  EXPECT_FALSE(seen[2].fail);
+  EXPECT_EQ(seen[2].at, util::SimTime::zero() + 10_ms);
+}
+
 TEST(ComponentRef, Describes) {
   EXPECT_EQ((ComponentRef{ComponentRef::Kind::kNic, 3, 1}).to_string(),
             "nic(node=3, net=1)");
