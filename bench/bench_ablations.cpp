@@ -4,169 +4,123 @@
 //   2. probe spreading on/off — burstiness of the monitoring traffic;
 //   3. Monte-Carlo estimator thread scaling and block granularity;
 //   4. packet-level MC agreement with the combinatorial model.
+//
+// Every deterministic ablation runs through the experiment engine over an
+// ablation_* scenario family (sharded, cacheable, JSON-exportable); only the
+// wall-clock thread-scaling table stays a direct measurement — elapsed time
+// is not a pure function of the cell, so it must not be cached.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 
-#include "analytic/survivability.hpp"
-#include "core/system.hpp"
+#include "exp/cli.hpp"
 #include "montecarlo/estimator.hpp"
 #include "montecarlo/packet_validation.hpp"
 #include "util/table.hpp"
+#include "util/time.hpp"
 
 namespace {
 
 using namespace drs;
-using namespace drs::util::literals;
 
-void print_relay_ablation() {
+exp::ExperimentResult run(exp::ExperimentSpec spec, const exp::BenchCli& cli,
+                          exp::JsonReport& report) {
+  cli.apply(spec);
+  auto result = exp::run_experiment(spec, cli.engine);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.error.c_str());
+    std::exit(1);
+  }
+  report.add(result);
+  if (!cli.engine.cache_dir.empty()) {
+    std::fprintf(stderr, "%s\n", exp::summary_line(result).c_str());
+  }
+  return result;
+}
+
+void print_relay_ablation(const exp::BenchCli& cli, exp::JsonReport& report) {
   std::printf("=== Ablation: relay discovery vs dual homing only ===\n");
   std::printf("(packet-level connectivity rate over sampled f-failure patterns,\n"
               " 8-node cluster, 40 samples per cell; 'model' is Equation 1 E[.])\n");
+  exp::ExperimentSpec spec;
+  spec.family = "ablation_relay";
+  spec.seed = 0xAB1A;
+  spec.grid.ints("f", {2, 3, 4, 5}).bools("relay", {true, false});
+  const auto result = run(std::move(spec), cli, report);
+
   util::Table table({"f", "model P[S]", "drs full", "drs no-relay"});
-  for (std::int64_t f : {2, 3, 4, 5}) {
-    mc::PacketValidationOptions options;
-    options.nodes = 8;
-    options.failures = f;
-    options.samples = 40;
-    options.seed = 0xAB1A + static_cast<std::uint64_t>(f);
-    const auto full = mc::validate_against_packet_level(options);
-    options.drs.allow_relay = false;
-    const auto no_relay = mc::validate_against_packet_level(options);
+  for (std::size_t fi = 0; fi < 4; ++fi) {
+    const std::size_t full = fi * 2;      // relay=true cell
+    const std::size_t no_relay = full + 1;
     table.add_row(
-        {std::to_string(f),
-         util::format_double(analytic::p_success(8, f), 4),
-         util::format_double(static_cast<double>(full.packet_connected) /
-                                 static_cast<double>(full.samples), 4),
-         util::format_double(static_cast<double>(no_relay.packet_connected) /
-                                 static_cast<double>(no_relay.samples), 4)});
+        {std::to_string(fi + 2),
+         util::format_double(result.output_double(full, "model_p"), 4),
+         util::format_double(result.output_double(full, "connected_rate"), 4),
+         util::format_double(result.output_double(no_relay, "connected_rate"),
+                             4)});
   }
   util::export_table_csv("ablation_relay", table);
   std::printf("%s\n", table.to_text().c_str());
 }
 
-void print_spread_ablation() {
+void print_spread_ablation(const exp::BenchCli& cli, exp::JsonReport& report) {
   std::printf("=== Ablation: probe spreading (peak medium occupancy) ===\n");
+  exp::ExperimentSpec spec;
+  spec.family = "ablation_spread";
+  spec.grid.bools("spread", {true, false});
+  const auto result = run(std::move(spec), cli, report);
+
   util::Table table({"spread", "probes failed", "utilization net-A"});
-  for (bool spread : {true, false}) {
-    // A deliberately tight interval: bursts collide, spreading survives.
-    sim::Simulator sim;
-    net::ClusterNetwork::Config net_config;
-    net_config.node_count = 24;
-    net::ClusterNetwork network(sim, net_config);
-    core::DrsConfig drs_config;
-    drs_config.probe_interval = 10_ms;
-    drs_config.probe_timeout = 4_ms;
-    drs_config.spread_probes = spread;
-    core::DrsSystem system(network, drs_config);
-    system.start();
-    sim.run_for(500_ms);
-    std::uint64_t failed = 0;
-    for (net::NodeId i = 0; i < 24; ++i) {
-      failed += system.daemon(i).metrics().probes_failed;
-    }
-    const double util_a =
-        network.backplane(net::kNetworkA).busy_seconds() / 0.5;
-    table.add_row({spread ? "on" : "off", std::to_string(failed),
-                   util::format_double(util_a, 4)});
+  for (std::size_t i = 0; i < 2; ++i) {
+    table.add_row(
+        {i == 0 ? "on" : "off",
+         std::to_string(result.output_int(i, "probes_failed")),
+         util::format_double(result.output_double(i, "util_a"), 4)});
   }
   util::export_table_csv("ablation_spread", table);
   std::printf("%s\n", table.to_text().c_str());
 }
 
-void print_warm_standby() {
+void print_warm_standby(const exp::BenchCli& cli, exp::JsonReport& report) {
   std::printf("=== Ablation: warm-standby relays (cross-split failover) ===\n");
+  exp::ExperimentSpec spec;
+  spec.family = "ablation_warm_standby";
+  spec.grid.bools("warm", {false, true});
+  const auto result = run(std::move(spec), cli, report);
+
   util::Table table({"mode", "second-failure -> relay mode", "app outage"});
-  for (bool warm : {false, true}) {
-    // Stage the two failures: first one leg, later the other, and measure
-    // the application outage of the second transition only.
-    sim::Simulator sim;
-    net::ClusterNetwork network(sim, {.node_count = 12, .backplane = {}});
-    core::DrsConfig config;
-    config.probe_interval = 100_ms;
-    config.probe_timeout = 40_ms;
-    config.warm_standby = warm;
-    core::DrsSystem system(network, config);
-    system.start();
-    sim.run_for(1_s);
-    network.set_component_failed(net::ClusterNetwork::nic_component(0, 1), true);
-    sim.run_for(2_s);
-    network.set_component_failed(net::ClusterNetwork::nic_component(1, 0), true);
-    const util::SimTime injected = sim.now();
-    sim.run_for(3_s);
-    util::SimTime down_verdict = util::SimTime::max();
-    for (const auto& t : system.daemon(0).links().history()) {
-      if (t.peer == 1 && t.network == 0 && t.to == core::LinkState::kDown &&
-          t.at >= injected) {
-        down_verdict = t.at;
-      }
-    }
-    util::SimTime relay_at = util::SimTime::max();
-    for (const auto& change : system.daemon(0).metrics().route_changes) {
-      if (change.peer == 1 && change.to == core::PeerRouteMode::kRelay) {
-        relay_at = std::min(relay_at, change.at);
-      }
-    }
-    const bool reachable = system.test_reachability(0, 1);
-    table.add_row({warm ? "warm standby" : "on-demand discovery",
-                   util::to_string(relay_at - down_verdict),
-                   reachable ? util::to_string(relay_at - injected) : "never"});
+  for (std::size_t i = 0; i < 2; ++i) {
+    const auto relay_after = util::Duration::nanos(
+        result.output_int(i, "relay_after_down_ns"));
+    const auto outage = util::Duration::nanos(result.output_int(i, "outage_ns"));
+    table.add_row({i == 0 ? "on-demand discovery" : "warm standby",
+                   util::to_string(relay_after),
+                   result.output_bool(i, "reachable") ? util::to_string(outage)
+                                                      : "never"});
   }
   util::export_table_csv("ablation_warm_standby", table);
   std::printf("%s\n", table.to_text().c_str());
 }
 
-void print_detector_tuning() {
+void print_detector_tuning(const exp::BenchCli& cli, exp::JsonReport& report) {
   std::printf("=== Ablation: failure-detector threshold under 3%% frame loss ===\n");
   std::printf("(failures_to_down trades detection latency against false failovers\n"
               " on noisy media — the reason the SUSPECT state exists)\n");
+  exp::ExperimentSpec spec;
+  spec.family = "ablation_detector";
+  spec.grid.ints("threshold", {1, 2, 3, 4});
+  const auto result = run(std::move(spec), cli, report);
+
   util::Table table({"failures_to_down", "false failovers (10 s, no real fault)",
                      "detection latency (real fault)"});
-  for (std::uint32_t threshold : {1u, 2u, 3u, 4u}) {
-    // Phase 1: noisy but healthy — count spurious DOWN verdicts.
-    std::uint64_t false_failovers = 0;
-    {
-      sim::Simulator sim;
-      net::Backplane::Config lossy;
-      lossy.frame_loss_rate = 0.03;
-      lossy.seed = 99;
-      net::ClusterNetwork network(sim, {.node_count = 8, .backplane = lossy});
-      core::DrsConfig config;
-      config.probe_interval = 50_ms;
-      config.probe_timeout = 20_ms;
-      config.failures_to_down = threshold;
-      core::DrsSystem system(network, config);
-      system.start();
-      sim.run_for(10_s);
-      for (net::NodeId i = 0; i < 8; ++i) {
-        false_failovers += system.daemon(i).metrics().links_declared_down;
-      }
-    }
-    // Phase 2: clean medium, one real failure — measure detection latency.
-    util::Duration latency = util::Duration::zero();
-    {
-      sim::Simulator sim;
-      net::ClusterNetwork network(sim, {.node_count = 8, .backplane = {}});
-      core::DrsConfig config;
-      config.probe_interval = 50_ms;
-      config.probe_timeout = 20_ms;
-      config.failures_to_down = threshold;
-      core::DrsSystem system(network, config);
-      system.start();
-      sim.run_for(1_s);
-      const util::SimTime injected = sim.now();
-      network.set_component_failed(net::ClusterNetwork::nic_component(1, 0), true);
-      sim.run_for(2_s);
-      for (const auto& t : system.daemon(0).links().history()) {
-        if (t.to == core::LinkState::kDown && t.at >= injected) {
-          latency = t.at - injected;
-          break;
-        }
-      }
-    }
-    table.add_row({std::to_string(threshold), std::to_string(false_failovers),
-                   util::to_string(latency)});
+  for (std::size_t i = 0; i < 4; ++i) {
+    table.add_row(
+        {std::to_string(i + 1),
+         std::to_string(result.output_int(i, "false_failovers")),
+         util::to_string(
+             util::Duration::nanos(result.output_int(i, "detection_ns")))});
   }
   util::export_table_csv("ablation_detector", table);
   std::printf("%s\n", table.to_text().c_str());
@@ -192,20 +146,21 @@ void print_mc_scaling() {
   std::printf("%s\n", table.to_text().c_str());
 }
 
-void print_packet_agreement() {
+void print_packet_agreement(const exp::BenchCli& cli, exp::JsonReport& report) {
   std::printf("=== Packet-level MC vs combinatorial model (agreement) ===\n");
   util::Table table({"N", "f", "samples", "agreements", "disagreements"});
+  // The (N, f) pairs are hand-picked, not a cartesian product: one
+  // single-cell spec each.
   for (auto [n, f] : {std::pair<std::int64_t, std::int64_t>{6, 2},
                       {6, 4}, {8, 3}, {10, 5}}) {
-    mc::PacketValidationOptions options;
-    options.nodes = n;
-    options.failures = f;
-    options.samples = 20;
-    const auto result = mc::validate_against_packet_level(options);
+    exp::ExperimentSpec spec;
+    spec.family = "ablation_packet_agreement";
+    spec.grid.ints("n", {n}).ints("f", {f});
+    const auto result = run(std::move(spec), cli, report);
     table.add_row({std::to_string(n), std::to_string(f),
-                   std::to_string(result.samples),
-                   std::to_string(result.agreements),
-                   std::to_string(result.disagreements.size())});
+                   std::to_string(result.output_int(0, "samples")),
+                   std::to_string(result.output_int(0, "agreements")),
+                   std::to_string(result.output_int(0, "disagreements"))});
   }
   util::export_table_csv("ablation_packet_agreement", table);
   std::printf("%s\n", table.to_text().c_str());
@@ -238,13 +193,23 @@ BENCHMARK(BM_PacketValidationSample)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_relay_ablation();
-  print_spread_ablation();
-  print_warm_standby();
-  print_detector_tuning();
+  const auto cli = exp::parse_bench_cli(argc, argv);
+  if (!cli) return 1;
+  if (cli->flags.help_requested()) return 0;
+
+  exp::JsonReport report;
+  print_relay_ablation(*cli, report);
+  print_spread_ablation(*cli, report);
+  print_warm_standby(*cli, report);
+  print_detector_tuning(*cli, report);
   print_mc_scaling();
-  print_packet_agreement();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  print_packet_agreement(*cli, report);
+  if (!report.write_to(cli->json_out)) return 1;
+
+  if (cli->timing) {
+    int bench_argc = 1;
+    benchmark::Initialize(&bench_argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+  }
   return 0;
 }

@@ -5,11 +5,17 @@
 // paper's stated anchor ("ninety hosts ... less than 1 second with only
 // 10 %"), and a packet-level cross-check of the closed form against the
 // real daemons running on the simulated medium.
+//
+// All series run through the experiment engine over the fig1_* scenario
+// families — shardable (--threads), cacheable (--cache-dir), exportable as
+// canonical JSON (--json-out). Timing kernels run with --timing.
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "cost/cost_model.hpp"
+#include "exp/cli.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -17,19 +23,42 @@ namespace {
 using namespace drs;
 using namespace drs::util::literals;
 
-const double kBudgets[] = {0.05, 0.10, 0.15, 0.25};
+const std::vector<double> kBudgets{0.05, 0.10, 0.15, 0.25};
 
-void print_response_time_curves(bool preamble) {
-  cost::CostModel model;
-  model.frame.count_preamble_and_ifg = preamble;
+exp::ExperimentResult run(exp::ExperimentSpec spec, const exp::BenchCli& cli,
+                          exp::JsonReport& report) {
+  cli.apply(spec);
+  auto result = exp::run_experiment(spec, cli.engine);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.error.c_str());
+    std::exit(1);
+  }
+  report.add(result);
+  if (!cli.engine.cache_dir.empty()) {
+    std::fprintf(stderr, "%s\n", exp::summary_line(result).c_str());
+  }
+  return result;
+}
+
+void print_response_time_curves(bool preamble, const exp::BenchCli& cli,
+                                exp::JsonReport& report) {
   std::printf("=== Figure 1: response time (s) vs nodes, 100 Mb/s, %s ===\n",
               preamble ? "84-byte frames (preamble+IFG counted)"
                        : "64-byte minimum frames (paper anchor)");
+  exp::ExperimentSpec spec;
+  spec.family = "fig1_response_time";
+  const std::vector<std::int64_t> ns{2,  10, 20, 30, 40,  50,  60,
+                                     70, 80, 90, 100, 110, 120};
+  spec.grid.bools("preamble", {preamble}).ints("n", ns).doubles("budget",
+                                                                kBudgets);
+  const auto result = run(std::move(spec), cli, report);
+
   util::Table table({"N", "5% budget", "10% budget", "15% budget", "25% budget"});
-  for (std::int64_t n : {2, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100, 110, 120}) {
-    std::vector<std::string> row{std::to_string(n)};
-    for (double budget : kBudgets) {
-      row.push_back(util::format_double(model.response_time_seconds(n, budget), 4));
+  for (std::size_t ni = 0; ni < ns.size(); ++ni) {
+    std::vector<std::string> row{std::to_string(ns[ni])};
+    for (std::size_t bi = 0; bi < kBudgets.size(); ++bi) {
+      row.push_back(util::format_double(
+          result.output_double(ni * kBudgets.size() + bi, "seconds"), 4));
     }
     table.add_row(std::move(row));
   }
@@ -39,15 +68,21 @@ void print_response_time_curves(bool preamble) {
   std::printf("%s\n", table.to_text().c_str());
 }
 
-void print_max_nodes() {
-  cost::CostModel model;
+void print_max_nodes(const exp::BenchCli& cli, exp::JsonReport& report) {
   std::printf("=== Max cluster size for an error-resolution deadline ===\n");
+  exp::ExperimentSpec spec;
+  spec.family = "fig1_max_nodes";
+  const std::vector<double> deadlines{0.1, 0.25, 0.5, 1.0, 2.0, 5.0};
+  spec.grid.doubles("deadline", deadlines).doubles("budget", kBudgets);
+  const auto result = run(std::move(spec), cli, report);
+
   util::Table table({"deadline (s)", "5% budget", "10% budget", "15% budget",
                      "25% budget"});
-  for (double deadline : {0.1, 0.25, 0.5, 1.0, 2.0, 5.0}) {
-    std::vector<std::string> row{util::format_double(deadline, 2)};
-    for (double budget : kBudgets) {
-      row.push_back(std::to_string(model.max_nodes(budget, deadline)));
+  for (std::size_t di = 0; di < deadlines.size(); ++di) {
+    std::vector<std::string> row{util::format_double(deadlines[di], 2)};
+    for (std::size_t bi = 0; bi < kBudgets.size(); ++bi) {
+      row.push_back(std::to_string(
+          result.output_int(di * kBudgets.size() + bi, "max_nodes")));
     }
     table.add_row(std::move(row));
   }
@@ -55,56 +90,76 @@ void print_max_nodes() {
   std::printf("%s\n", table.to_text().c_str());
 }
 
-void print_anchor() {
-  cost::CostModel minimum;
-  cost::CostModel full;
-  full.frame.count_preamble_and_ifg = true;
+void print_anchor(const exp::BenchCli& cli, exp::JsonReport& report) {
   std::printf("=== Paper anchor: 90 hosts at 10%% budget ===\n");
-  std::printf("  64-byte frames: %.6f s (< 1 s: %s)\n",
-              minimum.response_time_seconds(90, 0.10),
-              minimum.response_time_seconds(90, 0.10) < 1.0 ? "yes" : "NO");
-  std::printf("  84-byte frames: %.6f s\n\n", full.response_time_seconds(90, 0.10));
+  exp::ExperimentSpec spec;
+  spec.family = "fig1_response_time";
+  spec.grid.bools("preamble", {false, true}).ints("n", {90}).doubles("budget",
+                                                                     {0.10});
+  const auto result = run(std::move(spec), cli, report);
+  const double minimum = result.output_double(0, "seconds");
+  const double full = result.output_double(1, "seconds");
+  std::printf("  64-byte frames: %.6f s (< 1 s: %s)\n", minimum,
+              minimum < 1.0 ? "yes" : "NO");
+  std::printf("  84-byte frames: %.6f s\n\n", full);
 }
 
-void print_measured_cross_check() {
+void print_measured_cross_check(const exp::BenchCli& cli,
+                                exp::JsonReport& report) {
   std::printf("=== Packet-level cross-check: closed form vs live daemons ===\n");
+  exp::ExperimentSpec spec;
+  spec.family = "fig1_measured";
+  const std::vector<std::int64_t> ns{4, 8, 16, 24};
+  spec.grid.ints("n", ns);
+  const auto result = run(std::move(spec), cli, report);
+
   util::Table table({"N", "interval (ms)", "predicted util", "measured net-A",
                      "measured net-B", "probe failures"});
-  cost::CostModel model;
-  for (std::int64_t n : {4, 8, 16, 24}) {
-    const util::Duration interval = 100_ms;
-    const cost::MeasuredCycle measured = cost::measure_cycle(n, interval, 5, model);
-    table.add_row({std::to_string(n), "100",
-                   util::format_double(model.utilization(n, interval), 6),
-                   util::format_double(measured.utilization_network_a, 6),
-                   util::format_double(measured.utilization_network_b, 6),
-                   std::to_string(measured.probes_failed)});
+  for (std::size_t i = 0; i < ns.size(); ++i) {
+    table.add_row(
+        {std::to_string(ns[i]), "100",
+         util::format_double(result.output_double(i, "predicted_util"), 6),
+         util::format_double(result.output_double(i, "measured_util_a"), 6),
+         util::format_double(result.output_double(i, "measured_util_b"), 6),
+         std::to_string(result.output_int(i, "probes_failed"))});
   }
   util::export_table_csv("fig1_measured", table);
   std::printf("%s\n", table.to_text().c_str());
 }
 
-void print_switch_extension() {
+void print_switch_extension(const exp::BenchCli& cli,
+                            exp::JsonReport& report) {
   std::printf("=== Extension: the paper's hubs vs a modern switched fabric ===\n");
   std::printf("(hub: 2N(N-1) frames share one medium, O(N^2); switch: 2(N-1)\n"
               " frames per full-duplex port, O(N))\n");
-  cost::CostModel hub;
-  cost::CostModel switched;
-  switched.medium = net::MediumKind::kSwitch;
+  exp::ExperimentSpec spec;
+  spec.family = "fig1_response_time";
+  const std::vector<std::int64_t> ns{10, 30, 60, 90, 120, 240};
+  spec.grid.strings("medium", {"hub", "switch"}).ints("n", ns).doubles(
+      "budget", {0.10});
+  const auto result = run(std::move(spec), cli, report);
+
   util::Table table({"N", "hub response @10% (s)", "switch response @10% (s)",
                      "speedup"});
-  for (std::int64_t n : {10, 30, 60, 90, 120, 240}) {
-    const double t_hub = hub.response_time_seconds(n, 0.10);
-    const double t_switch = switched.response_time_seconds(n, 0.10);
-    table.add_row({std::to_string(n), util::format_double(t_hub, 5),
+  for (std::size_t i = 0; i < ns.size(); ++i) {
+    const double t_hub = result.output_double(i, "seconds");
+    const double t_switch = result.output_double(ns.size() + i, "seconds");
+    table.add_row({std::to_string(ns[i]), util::format_double(t_hub, 5),
                    util::format_double(t_switch, 6),
                    util::format_double(t_hub / t_switch, 1) + "x"});
   }
   util::export_table_csv("fig1_switch_extension", table);
   std::printf("%s", table.to_text().c_str());
+
+  exp::ExperimentSpec limits;
+  limits.family = "fig1_max_nodes";
+  limits.grid.strings("medium", {"hub", "switch"})
+      .doubles("deadline", {1.0})
+      .doubles("budget", {0.10});
+  const auto limit = run(std::move(limits), cli, report);
   std::printf("max nodes at (10%%, 1 s): hub %lld vs switch %lld\n\n",
-              static_cast<long long>(hub.max_nodes(0.10, 1.0)),
-              static_cast<long long>(switched.max_nodes(0.10, 1.0)));
+              static_cast<long long>(limit.output_int(0, "max_nodes")),
+              static_cast<long long>(limit.output_int(1, "max_nodes")));
 }
 
 void BM_ResponseTimeClosedForm(benchmark::State& state) {
@@ -127,13 +182,23 @@ BENCHMARK(BM_MeasuredCycle)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_response_time_curves(/*preamble=*/false);
-  print_response_time_curves(/*preamble=*/true);
-  print_max_nodes();
-  print_anchor();
-  print_measured_cross_check();
-  print_switch_extension();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  const auto cli = exp::parse_bench_cli(argc, argv);
+  if (!cli) return 1;
+  if (cli->flags.help_requested()) return 0;
+
+  exp::JsonReport report;
+  print_response_time_curves(/*preamble=*/false, *cli, report);
+  print_response_time_curves(/*preamble=*/true, *cli, report);
+  print_max_nodes(*cli, report);
+  print_anchor(*cli, report);
+  print_measured_cross_check(*cli, report);
+  print_switch_extension(*cli, report);
+  if (!report.write_to(cli->json_out)) return 1;
+
+  if (cli->timing) {
+    int bench_argc = 1;
+    benchmark::Initialize(&bench_argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+  }
   return 0;
 }

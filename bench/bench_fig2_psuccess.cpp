@@ -2,35 +2,59 @@
 // components, and the 0.99 crossovers the paper quotes (18 / 32 / 45 for
 // f = 2 / 3 / 4).
 //
-// Prints the full series (the exact closed form — the paper's Figure 2 is a
-// plot of this table), then runs google-benchmark kernels over the hot
-// analytic paths.
+// All series run through the experiment engine (exp::run_experiment): each
+// table is a declarative spec over the fig2_* scenario families, so the same
+// cells are shardable, cacheable (--cache-dir) and exportable as canonical
+// JSON (--json-out). Timing kernels run with --timing.
 #include <benchmark/benchmark.h>
 
-#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 #include "analytic/enumerate.hpp"
 #include "analytic/survivability.hpp"
-#include "montecarlo/estimator.hpp"
+#include "exp/cli.hpp"
 #include "util/table.hpp"
 
 namespace {
 
 using namespace drs;
 
-void print_figure2() {
+exp::ExperimentResult run(exp::ExperimentSpec spec, const exp::BenchCli& cli,
+                          exp::JsonReport& report) {
+  cli.apply(spec);
+  auto result = exp::run_experiment(spec, cli.engine);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.error.c_str());
+    std::exit(1);
+  }
+  report.add(result);
+  if (!cli.engine.cache_dir.empty()) {
+    std::fprintf(stderr, "%s\n", exp::summary_line(result).c_str());
+  }
+  return result;
+}
+
+void print_figure2(const exp::BenchCli& cli, exp::JsonReport& report) {
   std::printf("=== Figure 2: P[Success](N, f) — Equation 1, exact ===\n");
+  exp::ExperimentSpec spec;
+  spec.family = "fig2_psuccess";
+  std::vector<std::int64_t> ns;
+  for (std::int64_t n = 2; n <= 64; ++n) ns.push_back(n);
+  spec.grid.ints("n", ns).ints("f", {2, 3, 4, 5, 6, 7, 8, 9, 10});
+  const auto result = run(std::move(spec), cli, report);
+
   std::vector<std::string> headers{"N"};
   for (int f = 2; f <= 10; ++f) headers.push_back("f=" + std::to_string(f));
   util::Table table(headers);
-  for (std::int64_t n = 2; n <= 64; ++n) {
-    std::vector<std::string> row{std::to_string(n)};
-    for (std::int64_t f = 2; f <= 10; ++f) {
-      if (f > analytic::component_count(n)) {
+  for (std::size_t ni = 0; ni < ns.size(); ++ni) {
+    std::vector<std::string> row{std::to_string(ns[ni])};
+    for (std::size_t fi = 0; fi < 9; ++fi) {
+      const std::size_t i = ni * 9 + fi;
+      if (!result.output_bool(i, "defined")) {
         row.push_back("-");
       } else {
-        row.push_back(util::format_double(analytic::p_success(n, f), 4));
+        row.push_back(util::format_double(result.output_double(i, "p"), 4));
       }
     }
     table.add_row(std::move(row));
@@ -39,64 +63,87 @@ void print_figure2() {
   std::printf("%s\n", table.to_text().c_str());
 }
 
-void print_crossovers() {
+void print_crossovers(const exp::BenchCli& cli, exp::JsonReport& report) {
   std::printf("=== P[Success] >= 0.99 crossovers (paper: 18 / 32 / 45 for f = 2 / 3 / 4) ===\n");
+  exp::ExperimentSpec spec;
+  spec.family = "fig2_crossover";
+  spec.grid.ints("f", {2, 3, 4, 5, 6, 7, 8, 9, 10});
+  const auto result = run(std::move(spec), cli, report);
+
   util::Table table({"f", "N at P>=0.99", "P at crossover", "P one below", "paper"});
   const char* paper[] = {"18", "32", "45", "-", "-", "-", "-", "-", "-"};
-  for (std::int64_t f = 2; f <= 10; ++f) {
-    const std::int64_t n = analytic::threshold_nodes(f, 0.99);
-    table.add_row({std::to_string(f), std::to_string(n),
-                   util::format_double(analytic::p_success(n, f), 6),
-                   util::format_double(analytic::p_success(n - 1, f), 6),
-                   paper[f - 2]});
+  for (std::size_t i = 0; i < 9; ++i) {
+    table.add_row({std::to_string(i + 2),
+                   std::to_string(result.output_int(i, "n")),
+                   util::format_double(result.output_double(i, "p_at"), 6),
+                   util::format_double(result.output_double(i, "p_below"), 6),
+                   paper[i]});
   }
   util::export_table_csv("fig2_crossovers", table);
   std::printf("%s\n", table.to_text().c_str());
 }
 
-void print_limit_behaviour() {
+void print_limit_behaviour(const exp::BenchCli& cli, exp::JsonReport& report) {
   std::printf("=== lim N->inf P[Success] = 1 (fixed f) ===\n");
+  exp::ExperimentSpec spec;
+  spec.family = "fig2_psuccess";
+  spec.grid.ints("f", {2, 4, 6, 8, 10}).ints("n", {64, 128, 256, 1024});
+  const auto result = run(std::move(spec), cli, report);
+
   util::Table table({"f", "N=64", "N=128", "N=256", "N=1024"});
-  for (std::int64_t f : {2, 4, 6, 8, 10}) {
-    table.add_row({std::to_string(f),
-                   util::format_double(analytic::p_success(64, f), 6),
-                   util::format_double(analytic::p_success(128, f), 6),
-                   util::format_double(analytic::p_success(256, f), 6),
-                   util::format_double(analytic::p_success(1024, f), 6)});
+  for (std::size_t fi = 0; fi < 5; ++fi) {
+    std::vector<std::string> row{std::to_string(2 * (fi + 1))};
+    for (std::size_t ni = 0; ni < 4; ++ni) {
+      row.push_back(
+          util::format_double(result.output_double(fi * 4 + ni, "p"), 6));
+    }
+    table.add_row(std::move(row));
   }
   util::export_table_csv("fig2_limits", table);
   std::printf("%s\n", table.to_text().c_str());
 }
 
-void print_figure2_simulated() {
+void print_figure2_simulated(const exp::BenchCli& cli,
+                             exp::JsonReport& report) {
   // The paper's Figure 2 is captioned "DRS Simulation": the plotted curves
   // come from the Monte-Carlo runs overlaid on Equation 1. Reproduce that
   // overlay for a representative f at the paper's 1,000-iteration setting.
   std::printf("=== Figure 2 overlay: simulation (1,000 iterations) vs Equation 1 ===\n");
+  exp::ExperimentSpec spec;
+  spec.family = "fig2_mc_overlay";
+  spec.seed = 0xF16;
+  std::vector<std::int64_t> ns;
+  for (std::int64_t n = 4; n <= 64; n += 4) ns.push_back(n);
+  spec.grid.ints("n", ns).ints("f", {3});
+  const auto result = run(std::move(spec), cli, report);
+
   util::Table table({"N", "equation (f=3)", "simulated (f=3)", "|diff|"});
-  mc::EstimateOptions options;
-  options.iterations = 1000;
-  options.seed = 0xF16;
-  for (std::int64_t n = 4; n <= 64; n += 4) {
-    const double exact = analytic::p_success(n, 3);
-    const double simulated = mc::estimate_p_success(n, 3, options).p;
-    table.add_row({std::to_string(n), util::format_double(exact, 4),
-                   util::format_double(simulated, 4),
-                   util::format_double(std::abs(exact - simulated), 4)});
+  for (std::size_t i = 0; i < ns.size(); ++i) {
+    table.add_row({std::to_string(ns[i]),
+                   util::format_double(result.output_double(i, "exact"), 4),
+                   util::format_double(result.output_double(i, "simulated"), 4),
+                   util::format_double(result.output_double(i, "abs_diff"), 4)});
   }
   util::export_table_csv("fig2_simulated_overlay", table);
   std::printf("%s\n", table.to_text().c_str());
 }
 
-void print_unconditional() {
+void print_unconditional(const exp::BenchCli& cli, exp::JsonReport& report) {
   std::printf("=== Unconditional availability (the paper's q framing) ===\n");
   std::printf("(components independently failed with probability q; Equation 1\n"
               " mixed over the binomial failure count)\n");
+  exp::ExperimentSpec spec;
+  spec.family = "fig2_unconditional";
+  const std::vector<double> qs{0.0001, 0.001, 0.005, 0.01, 0.05, 0.1};
+  spec.grid.doubles("q", qs).ints("n", {4, 8, 16, 32, 64});
+  const auto result = run(std::move(spec), cli, report);
+
   util::Table table({"q", "N=4", "N=8", "N=16", "N=32", "N=64"});
-  for (double q : {0.0001, 0.001, 0.005, 0.01, 0.05, 0.1}) {
-    std::vector<std::string> row{util::format_double(q, 4)};
-    for (std::int64_t n : {4, 8, 16, 32, 64}) {
-      row.push_back(util::format_double(analytic::p_success_unconditional(n, q), 7));
+  for (std::size_t qi = 0; qi < qs.size(); ++qi) {
+    std::vector<std::string> row{util::format_double(qs[qi], 4)};
+    for (std::size_t ni = 0; ni < 5; ++ni) {
+      row.push_back(
+          util::format_double(result.output_double(qi * 5 + ni, "p"), 7));
     }
     table.add_row(std::move(row));
   }
@@ -104,15 +151,21 @@ void print_unconditional() {
   std::printf("%s\n", table.to_text().c_str());
 }
 
-void print_all_pairs_extension() {
+void print_all_pairs_extension(const exp::BenchCli& cli,
+                               exp::JsonReport& report) {
   std::printf("=== Extension: pair vs system-wide (all live pairs) criterion ===\n");
   std::printf("(exact by enumeration for N=6; the criteria are incomparable —\n"
               " all-pairs excludes fully dead hosts, see EXPERIMENTS.md)\n");
+  exp::ExperimentSpec spec;
+  spec.family = "fig2_all_pairs";
+  spec.grid.ints("f", {0, 1, 2, 3, 4, 5, 6, 7, 8});
+  const auto result = run(std::move(spec), cli, report);
+
   util::Table table({"f", "pair P[S]", "all-live-pairs P[S]"});
-  for (std::int64_t f = 0; f <= 8; ++f) {
-    table.add_row({std::to_string(f),
-                   util::format_double(analytic::p_success(6, f), 5),
-                   util::format_double(analytic::p_all_pairs_success(6, f), 5)});
+  for (std::size_t i = 0; i < 9; ++i) {
+    table.add_row({std::to_string(i),
+                   util::format_double(result.output_double(i, "pair"), 5),
+                   util::format_double(result.output_double(i, "all_pairs"), 5)});
   }
   util::export_table_csv("fig2_all_pairs", table);
   std::printf("%s\n", table.to_text().c_str());
@@ -153,13 +206,23 @@ BENCHMARK(BM_Binomial)->Arg(10)->Arg(65);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_figure2();
-  print_figure2_simulated();
-  print_crossovers();
-  print_limit_behaviour();
-  print_unconditional();
-  print_all_pairs_extension();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  const auto cli = exp::parse_bench_cli(argc, argv);
+  if (!cli) return 1;
+  if (cli->flags.help_requested()) return 0;
+
+  exp::JsonReport report;
+  print_figure2(*cli, report);
+  print_figure2_simulated(*cli, report);
+  print_crossovers(*cli, report);
+  print_limit_behaviour(*cli, report);
+  print_unconditional(*cli, report);
+  print_all_pairs_extension(*cli, report);
+  if (!report.write_to(cli->json_out)) return 1;
+
+  if (cli->timing) {
+    int bench_argc = 1;
+    benchmark::Initialize(&bench_argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+  }
   return 0;
 }

@@ -5,12 +5,19 @@
 // the closed form, averaged over f < N < 64. The paper's observations to
 // reproduce: monotone convergence towards zero, already small at 1,000
 // iterations for every f.
+//
+// The sweep runs through the experiment engine over the fig3_convergence
+// family: one cell per (f, iterations) point, sharded across --threads and
+// memoized under --cache-dir. Timing kernels run with --timing.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 
+#include "exp/cli.hpp"
 #include "montecarlo/component_model.hpp"
+#include "montecarlo/estimator.hpp"
 #include "montecarlo/convergence.hpp"
 #include "util/table.hpp"
 
@@ -18,23 +25,36 @@ namespace {
 
 using namespace drs;
 
-void print_figure3() {
-  mc::ConvergenceOptions options;  // paper defaults: f=2..10, 10^1..10^5
-  const auto points = mc::run_convergence(options);
+void print_figure3(const exp::BenchCli& cli, exp::JsonReport& report) {
+  const std::vector<std::int64_t> failure_counts{2, 3, 4, 5, 6, 7, 8, 9, 10};
+  const std::vector<std::int64_t> iteration_counts{10, 100, 1000, 10000,
+                                                   100000};
+  exp::ExperimentSpec spec;
+  spec.family = "fig3_convergence";
+  spec.grid.ints("f", failure_counts).ints("iterations", iteration_counts);
+  cli.apply(spec);
+  const auto result = exp::run_experiment(spec, cli.engine);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.error.c_str());
+    std::exit(1);
+  }
+  report.add(result);
+  if (!cli.engine.cache_dir.empty()) {
+    std::fprintf(stderr, "%s\n", exp::summary_line(result).c_str());
+  }
 
   std::printf(
       "=== Figure 3: mean |simulated - Equation 1| over f < N < 64 ===\n");
   std::vector<std::string> headers{"iterations"};
-  for (std::int64_t f : options.failure_counts) {
+  for (std::int64_t f : failure_counts) {
     headers.push_back("f=" + std::to_string(f));
   }
   util::Table table(headers);
-  for (std::size_t i = 0; i < options.iteration_counts.size(); ++i) {
-    std::vector<std::string> row{
-        std::to_string(options.iteration_counts[i])};
-    for (std::size_t fi = 0; fi < options.failure_counts.size(); ++fi) {
-      const auto& point = points[fi * options.iteration_counts.size() + i];
-      row.push_back(util::format_double(point.mean_abs_deviation, 5));
+  for (std::size_t i = 0; i < iteration_counts.size(); ++i) {
+    std::vector<std::string> row{std::to_string(iteration_counts[i])};
+    for (std::size_t fi = 0; fi < failure_counts.size(); ++fi) {
+      row.push_back(util::format_double(
+          result.output_double(fi * iteration_counts.size() + i, "mad"), 5));
     }
     table.add_row(std::move(row));
   }
@@ -43,9 +63,10 @@ void print_figure3() {
 
   // The paper's headline observation, stated explicitly.
   double worst_at_1000 = 0.0;
-  for (const auto& point : points) {
-    if (point.iterations == 1000) {
-      worst_at_1000 = std::max(worst_at_1000, point.mean_abs_deviation);
+  for (std::size_t i = 0; i < result.cells.size(); ++i) {
+    if (result.cells[i].get_int("iterations", 0) == 1000) {
+      worst_at_1000 =
+          std::max(worst_at_1000, result.output_double(i, "mad"));
     }
   }
   std::printf("worst MAD at 1,000 iterations across f=2..10: %s "
@@ -82,8 +103,18 @@ BENCHMARK(BM_ConvergenceCell);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_figure3();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  const auto cli = exp::parse_bench_cli(argc, argv);
+  if (!cli) return 1;
+  if (cli->flags.help_requested()) return 0;
+
+  exp::JsonReport report;
+  print_figure3(*cli, report);
+  if (!report.write_to(cli->json_out)) return 1;
+
+  if (cli->timing) {
+    int bench_argc = 1;
+    benchmark::Initialize(&bench_argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+  }
   return 0;
 }

@@ -8,13 +8,7 @@
 #include <sstream>
 #include <vector>
 
-#include "core/system.hpp"
-#include "net/failure.hpp"
-#include "net/script.hpp"
-#include "net/trace.hpp"
-#include "util/flags.hpp"
-#include "util/rng.hpp"
-#include "util/table.hpp"
+#include "drs.hpp"
 
 using namespace drs;
 using namespace drs::util::literals;

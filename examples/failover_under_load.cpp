@@ -5,9 +5,7 @@
 //   $ ./failover_under_load [--mbytes 4] [--probe-ms 100]
 #include <cstdio>
 
-#include "core/system.hpp"
-#include "proto/tcp_lite.hpp"
-#include "util/flags.hpp"
+#include "drs.hpp"
 
 using namespace drs;
 using namespace drs::util::literals;

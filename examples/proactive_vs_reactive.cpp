@@ -5,9 +5,7 @@
 #include <cstdio>
 #include <string>
 
-#include "reactive/comparison.hpp"
-#include "util/flags.hpp"
-#include "util/table.hpp"
+#include "drs.hpp"
 
 using namespace drs;
 using namespace drs::util::literals;

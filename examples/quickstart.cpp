@@ -4,10 +4,7 @@
 //   $ ./quickstart [--nodes 8] [--verbose]
 #include <cstdio>
 
-#include "core/system.hpp"
-#include "net/failure.hpp"
-#include "util/flags.hpp"
-#include "util/log.hpp"
+#include "drs.hpp"
 
 using namespace drs;
 using namespace drs::util::literals;
@@ -21,13 +18,12 @@ int main(int argc, char** argv) {
   if (flags->get_bool("verbose")) util::set_log_level(util::LogLevel::kInfo);
   const auto nodes = static_cast<std::uint16_t>(flags->get_int("nodes", 8));
 
-  // 1. A simulated cluster: N hosts, two NICs each, two shared backplanes.
-  sim::Simulator simulator;
-  net::ClusterNetwork network(simulator, {.node_count = nodes, .backplane = {}});
-
-  // 2. One DRS daemon per host. Default config: 100 ms monitoring cycles.
-  core::DrsSystem drs(network, core::DrsConfig{});
-  drs.start();
+  // 1+2. A simulated cluster (N hosts, two NICs each, two shared backplanes)
+  //      with one running DRS daemon per host, in one expression. Default
+  //      config: 100 ms monitoring cycles.
+  auto cluster = core::DrsSystemBuilder().node_count(nodes).build();
+  net::ClusterNetwork& network = cluster.network();
+  core::DrsSystem& drs = cluster.system();
   drs.settle(1_s);
   std::printf("cluster up, %u nodes; 0 -> 1 reachable: %s\n", nodes,
               drs.test_reachability(0, 1) ? "yes" : "no");

@@ -4,12 +4,7 @@
 //   $ ./survivability_analysis --failures 3 --max-nodes 64 --iterations 10000
 #include <cstdio>
 
-#include "analytic/availability.hpp"
-#include "analytic/survivability.hpp"
-#include "montecarlo/estimator.hpp"
-#include "montecarlo/time_availability.hpp"
-#include "util/flags.hpp"
-#include "util/table.hpp"
+#include "drs.hpp"
 
 using namespace drs;
 

@@ -11,9 +11,7 @@
 //   $ ./voicemail_cluster [--clusters 27] [--horizon-s 60] [--seed 7]
 #include <cstdio>
 
-#include "cluster/scenario.hpp"
-#include "util/flags.hpp"
-#include "util/table.hpp"
+#include "drs.hpp"
 
 using namespace drs;
 using namespace drs::util::literals;

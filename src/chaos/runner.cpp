@@ -1,12 +1,18 @@
 #include "chaos/runner.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "util/parallel.hpp"
 
 namespace drs::chaos {
 
 ChaosReport run_chaos(const ChaosOptions& options) {
+  // Reject inconsistent daemon knobs before fanning out thousands of
+  // campaigns — one descriptive error beats the same failure per worker.
+  if (const auto error = options.campaign.drs.validate()) {
+    throw std::invalid_argument("chaos campaign DrsConfig: " + *error);
+  }
   const std::vector<CampaignResult> results = util::run_indexed_jobs(
       options.campaigns, options.threads, [&](std::uint64_t i) {
         return run_campaign(options.seed, options.first_campaign + i,

@@ -1,0 +1,78 @@
+#include "core/builder.hpp"
+
+namespace drs::core {
+
+DrsSystemBuilder& DrsSystemBuilder::node_count(std::uint16_t n) {
+  node_count_ = n;
+  return *this;
+}
+
+DrsSystemBuilder& DrsSystemBuilder::config(DrsConfig c) {
+  config_ = std::move(c);
+  return *this;
+}
+
+DrsSystemBuilder& DrsSystemBuilder::probe_interval(util::Duration d) {
+  config_.probe_interval = d;
+  return *this;
+}
+
+DrsSystemBuilder& DrsSystemBuilder::probe_timeout(util::Duration d) {
+  config_.probe_timeout = d;
+  return *this;
+}
+
+DrsSystemBuilder& DrsSystemBuilder::failures_to_down(std::uint32_t n) {
+  config_.failures_to_down = n;
+  return *this;
+}
+
+DrsSystemBuilder& DrsSystemBuilder::allow_relay(bool on) {
+  config_.allow_relay = on;
+  return *this;
+}
+
+DrsSystemBuilder& DrsSystemBuilder::warm_standby(bool on) {
+  config_.warm_standby = on;
+  return *this;
+}
+
+DrsSystemBuilder& DrsSystemBuilder::adaptive_timeout(bool on) {
+  config_.adaptive_timeout = on;
+  return *this;
+}
+
+DrsSystemBuilder& DrsSystemBuilder::backplane(net::Backplane::Config c) {
+  backplane_ = c;
+  return *this;
+}
+
+DrsSystemBuilder& DrsSystemBuilder::fail_component(net::ComponentIndex component) {
+  pre_failed_.push_back(component);
+  return *this;
+}
+
+DrsSystemBuilder& DrsSystemBuilder::auto_start(bool on) {
+  auto_start_ = on;
+  return *this;
+}
+
+DrsDeployment DrsSystemBuilder::build() const {
+  auto simulator = std::make_unique<sim::Simulator>();
+  auto network = std::make_unique<net::ClusterNetwork>(
+      *simulator,
+      net::ClusterNetwork::Config{.node_count = node_count_,
+                                  .backplane = backplane_});
+  // DrsSystem's constructor runs DrsConfig::validate and throws on
+  // inconsistent knobs; pre-seeded failures land before the daemons start so
+  // their very first probe cycle sees the degraded hardware.
+  auto system = std::make_unique<DrsSystem>(*network, config_);
+  for (const net::ComponentIndex component : pre_failed_) {
+    network->set_component_failed(component, true);
+  }
+  if (auto_start_) system->start();
+  return DrsDeployment(std::move(simulator), std::move(network),
+                       std::move(system));
+}
+
+}  // namespace drs::core

@@ -1,0 +1,78 @@
+#include "core/config.hpp"
+
+#include <sstream>
+
+namespace drs::core {
+
+namespace {
+
+std::string describe(const char* what, util::Duration got, const char* rule) {
+  std::ostringstream out;
+  out << what << " = " << util::to_string(got) << " " << rule;
+  return out.str();
+}
+
+}  // namespace
+
+std::optional<std::string> DrsConfig::validate() const {
+  if (probe_interval <= util::Duration::zero()) {
+    return describe("probe_interval", probe_interval,
+                    "must be positive (one monitoring cycle per interval)");
+  }
+  if (probe_timeout <= util::Duration::zero()) {
+    return describe("probe_timeout", probe_timeout, "must be positive");
+  }
+  if (probe_timeout >= probe_interval) {
+    std::ostringstream out;
+    out << "probe_timeout = " << util::to_string(probe_timeout)
+        << " must be < probe_interval = " << util::to_string(probe_interval)
+        << " (a cycle's probes must resolve before the next cycle starts)";
+    return out.str();
+  }
+  if (min_probe_timeout <= util::Duration::zero()) {
+    return describe("min_probe_timeout", min_probe_timeout,
+                    "must be positive (it floors the adaptive clamp)");
+  }
+  if (min_probe_timeout > probe_timeout) {
+    std::ostringstream out;
+    out << "min_probe_timeout = " << util::to_string(min_probe_timeout)
+        << " must be <= probe_timeout = " << util::to_string(probe_timeout)
+        << " (the adaptive clamp range [min, max] would be empty)";
+    return out.str();
+  }
+  if (failures_to_down == 0) {
+    return "failures_to_down must be >= 1 (0 would declare links DOWN "
+           "without any probe evidence)";
+  }
+  if (successes_to_up == 0) {
+    return "successes_to_up must be >= 1 (0 would declare links UP without "
+           "any probe evidence)";
+  }
+  if (allow_relay && discover_timeout <= util::Duration::zero()) {
+    return describe("discover_timeout", discover_timeout,
+                    "must be positive while allow_relay is on (the daemon "
+                    "needs a window to collect ROUTE_OFFERs)");
+  }
+  if (allow_relay && relay_route_lifetime <= util::Duration::zero()) {
+    return describe("relay_route_lifetime", relay_route_lifetime,
+                    "must be positive while allow_relay is on (leases would "
+                    "expire before the first refresh)");
+  }
+  if (warm_standby && !allow_relay) {
+    return "warm_standby requires allow_relay (a standby relay is "
+           "discovered through the relay mechanism)";
+  }
+  if (flap_threshold > 0) {
+    if (flap_window <= util::Duration::zero()) {
+      return describe("flap_window", flap_window,
+                      "must be positive while flap damping is enabled");
+    }
+    if (flap_hold <= util::Duration::zero()) {
+      return describe("flap_hold", flap_hold,
+                      "must be positive while flap damping is enabled");
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace drs::core

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "net/addr.hpp"
@@ -78,6 +79,14 @@ struct DrsConfig {
   /// deployed configuration. A node never offers to relay for a peer it
   /// does not monitor — it has no link-state evidence about it.
   std::optional<std::vector<net::NodeId>> monitored_peers;
+
+  /// Cross-knob consistency check. Returns a descriptive error when the
+  /// configuration cannot run a stable monitoring loop (e.g. probe_timeout >=
+  /// probe_interval, min_probe_timeout > probe_timeout, a zero detection
+  /// threshold), nullopt when the configuration is usable. DrsSystem and the
+  /// chaos runner reject invalid configurations up front instead of silently
+  /// misbehaving.
+  std::optional<std::string> validate() const;
 };
 
 /// Upper bound on the time this configuration needs to detect a topology

@@ -1,9 +1,14 @@
 #include "core/system.hpp"
 
+#include <stdexcept>
+
 namespace drs::core {
 
 DrsSystem::DrsSystem(net::ClusterNetwork& network, DrsConfig config)
     : network_(network) {
+  if (const auto error = config.validate()) {
+    throw std::invalid_argument("DrsConfig: " + *error);
+  }
   const std::uint16_t n = network_.node_count();
   icmp_.reserve(n);
   daemons_.reserve(n);

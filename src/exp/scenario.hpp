@@ -1,0 +1,59 @@
+// The scenario-family registry.
+//
+// A scenario family is a named, versioned pure function from one grid cell
+// (plus the spec's seed and optional base DrsConfig) to a flat list of named
+// output values. Families wrap the paper-facing models — the Fig. 1 cost
+// model, Equation 1, the Monte-Carlo estimator, the packet-level ablation
+// simulations — so every figure bench and the generic bench_sweep CLI drive
+// the exact same code paths.
+//
+// The `version` tag is the code-model version: it participates in every
+// cache key, so bumping it when the underlying model changes invalidates
+// precisely that family's cached cells and nothing else.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "exp/spec.hpp"
+
+namespace drs::exp {
+
+/// Named output values of one cell, in a deterministic order.
+using Outputs = std::vector<std::pair<std::string, Value>>;
+
+/// Everything a scenario function may consult. Cell parameters it reads must
+/// be grid axes (the engine enforces `required`); seed and config reach the
+/// cache key only when the flags below say the family observes them.
+struct ScenarioContext {
+  const Cell& cell;
+  std::uint64_t seed = 0;
+  /// Base daemon configuration (spec override or the family's default).
+  core::DrsConfig config;
+};
+
+struct Scenario {
+  std::string family;
+  /// Code-model version tag; part of every cache key for this family.
+  std::string version;
+  std::string help;
+  /// Axes that must be present in the grid (checked before any cell runs).
+  std::vector<std::string> required;
+  /// Whether results depend on the spec seed / base DrsConfig — controls
+  /// what the cache key incorporates.
+  bool uses_seed = false;
+  bool uses_config = false;
+  /// Families whose outputs are not a pure function of the inputs (e.g.
+  /// wall-clock timing) must opt out of caching entirely.
+  bool cacheable = true;
+  std::function<Outputs(const ScenarioContext&)> run;
+};
+
+/// Looks a family up by name; nullptr when unknown.
+const Scenario* find_scenario(const std::string& family);
+
+/// Every registered family, sorted by name (for --list and docs).
+const std::vector<Scenario>& scenarios();
+
+}  // namespace drs::exp

@@ -14,15 +14,39 @@
 
 namespace drs::sim {
 
-/// RAII cancellation token for a scheduled event. Default-constructed (or
-/// fired) handles are inert. Non-owning of the simulator.
+/// Move-only cancellation token for a scheduled event. Default-constructed
+/// (or fired, or moved-from) handles are inert. Non-owning of the simulator.
+///
+/// The handle is deliberately not copyable: a copy would let two tokens race
+/// to cancel the same EventId, and — because ids are recycled tombstones from
+/// the queue's point of view — the loser of that race could observe a stale
+/// pending() answer. Ownership of the cancellation right moves with the
+/// handle; moved-from handles answer pending() == false and cancel() == false.
 class EventHandle {
  public:
   EventHandle() = default;
   EventHandle(class Simulator* sim, EventId id) : sim_(sim), id_(id) {}
 
+  EventHandle(const EventHandle&) = delete;
+  EventHandle& operator=(const EventHandle&) = delete;
+  EventHandle(EventHandle&& other) noexcept
+      : sim_(other.sim_), id_(other.id_) {
+    other.release();
+  }
+  EventHandle& operator=(EventHandle&& other) noexcept {
+    if (this != &other) {
+      sim_ = other.sim_;
+      id_ = other.id_;
+      other.release();
+    }
+    return *this;
+  }
+
   bool pending() const;
   /// Cancels if still pending; returns whether a cancellation happened.
+  /// Idempotent: the first call releases the handle, so repeated calls (and
+  /// calls through moved-from handles) return false without touching the
+  /// queue.
   bool cancel();
   void release() { sim_ = nullptr; id_ = kInvalidEventId; }
 

@@ -1,0 +1,97 @@
+#include "util/cache.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+
+#include "util/hash.hpp"
+
+namespace drs::util {
+
+namespace {
+
+constexpr char kMagic[] = "drs-cache v1";
+
+// Distinguishes concurrent writers' temp files; the value itself is
+// meaningless, it only needs to be unique per in-flight put.
+std::uint64_t next_temp_token() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool key_ok(const std::string& key) {
+  return !key.empty() && key.find('\n') == std::string::npos;
+}
+
+}  // namespace
+
+DiskCache::DiskCache(std::string dir) : dir_(std::move(dir)) {
+  if (!dir_.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(dir_, ec);
+    // A directory we cannot create behaves as a permanently-missing cache;
+    // every get misses and every put fails, which is the degraded-but-correct
+    // mode the engine expects.
+  }
+}
+
+std::string DiskCache::entry_path(const std::string& key) const {
+  return dir_ + "/" + to_hex64(fnv1a64(key)) + ".cell";
+}
+
+std::optional<std::string> DiskCache::get(const std::string& key) {
+  if (!enabled() || !key_ok(key)) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  std::ifstream in(entry_path(key), std::ios::binary);
+  if (in) {
+    std::string magic;
+    std::string stored_key;
+    if (std::getline(in, magic) && magic == kMagic &&
+        std::getline(in, stored_key) && stored_key == key) {
+      std::stringstream payload;
+      payload << in.rdbuf();
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return payload.str();
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return std::nullopt;
+}
+
+bool DiskCache::put(const std::string& key, const std::string& payload) {
+  if (!enabled() || !key_ok(key)) return false;
+  const std::string final_path = entry_path(key);
+  const std::string temp_path =
+      final_path + ".tmp." + to_hex64(next_temp_token());
+  {
+    std::ofstream out(temp_path, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out << kMagic << '\n' << key << '\n' << payload;
+    if (!out.flush()) {
+      std::error_code ec;
+      std::filesystem::remove(temp_path, ec);
+      return false;
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(temp_path, final_path, ec);
+  if (ec) {
+    std::filesystem::remove(temp_path, ec);
+    return false;
+  }
+  stores_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+CacheStats DiskCache::stats() const {
+  CacheStats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.stores = stores_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace drs::util

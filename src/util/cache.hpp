@@ -1,0 +1,56 @@
+// On-disk content-addressed result cache.
+//
+// Entries are keyed by an arbitrary canonical key string; the file name is
+// the FNV-1a hash of the key and the full key is embedded in the file header
+// and verified on read, so a hash collision degrades to a miss rather than
+// returning another cell's payload. Writes go through a per-writer temp file
+// followed by an atomic rename — concurrent sharded writers (the experiment
+// engine fans cells across threads) can race on the same entry and the loser
+// simply overwrites the winner with identical bytes; a reader never observes
+// a half-written file.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace drs::util {
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t stores = 0;
+};
+
+class DiskCache {
+ public:
+  /// Opens (and creates if needed) the cache directory. An empty dir is
+  /// allowed and makes the cache a no-op that reports every get as a miss.
+  explicit DiskCache(std::string dir);
+
+  bool enabled() const { return !dir_.empty(); }
+  const std::string& dir() const { return dir_; }
+
+  /// Returns the payload stored under `key`, or nullopt (counted as a miss)
+  /// when absent, unreadable, corrupt, or stored under a colliding hash.
+  std::optional<std::string> get(const std::string& key);
+
+  /// Stores `payload` under `key`, atomically replacing any previous entry.
+  /// Returns whether the entry landed on disk.
+  bool put(const std::string& key, const std::string& payload);
+
+  /// Snapshot of the hit/miss/store counters (thread-safe).
+  CacheStats stats() const;
+
+  /// The file an entry for `key` lives at (for tests and diagnostics).
+  std::string entry_path(const std::string& key) const;
+
+ private:
+  std::string dir_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> stores_{0};
+};
+
+}  // namespace drs::util

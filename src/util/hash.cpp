@@ -1,0 +1,45 @@
+#include "util/hash.hpp"
+
+#include <bit>
+
+namespace drs::util {
+
+namespace {
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string to_hex64(std::uint64_t v) {
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kHexDigits[v & 0xF];
+    v >>= 4;
+  }
+  return out;
+}
+
+std::string double_bits_hex(double v) {
+  return to_hex64(std::bit_cast<std::uint64_t>(v));
+}
+
+bool double_from_bits_hex(std::string_view hex, double& out) {
+  if (hex.size() != 16) return false;
+  std::uint64_t bits = 0;
+  for (const char c : hex) {
+    const int digit = hex_value(c);
+    if (digit < 0) return false;
+    bits = bits << 4 | static_cast<std::uint64_t>(digit);
+  }
+  out = std::bit_cast<double>(bits);
+  return true;
+}
+
+}  // namespace drs::util

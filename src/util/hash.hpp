@@ -1,0 +1,43 @@
+// Stable content hashing for cache keys.
+//
+// The experiment engine addresses cached results by a hash of a canonical key
+// string, so the hash must be identical across platforms, compilers and runs
+// — std::hash guarantees none of that. FNV-1a is tiny, has no seed state, and
+// its exact constants are pinned by the tests; 64 bits is plenty because the
+// full key string is stored alongside every cache entry and verified on read
+// (a collision degrades to a cache miss, never to wrong data).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace drs::util {
+
+inline constexpr std::uint64_t kFnv1a64Offset = 0xcbf29ce484222325ull;
+inline constexpr std::uint64_t kFnv1a64Prime = 0x100000001b3ull;
+
+/// FNV-1a over a byte string. fnv1a64("") == kFnv1a64Offset.
+constexpr std::uint64_t fnv1a64(std::string_view bytes) {
+  std::uint64_t h = kFnv1a64Offset;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kFnv1a64Prime;
+  }
+  return h;
+}
+
+/// 16 lowercase hex digits, zero-padded — the cache's file-name alphabet.
+std::string to_hex64(std::uint64_t v);
+
+/// The exact bit pattern of a double as 16 hex digits. Used wherever a double
+/// participates in a cache key or cached payload: formatting a double as
+/// decimal and parsing it back is not guaranteed bit-exact across libcs, but
+/// the bit pattern round-trips perfectly, which the bit-reproducible-JSON
+/// contract requires.
+std::string double_bits_hex(double v);
+
+/// Inverse of double_bits_hex. Returns false on malformed input.
+bool double_from_bits_hex(std::string_view hex, double& out);
+
+}  // namespace drs::util

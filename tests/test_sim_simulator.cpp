@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "sim/timer.hpp"
@@ -87,6 +89,44 @@ TEST(Simulator, DefaultHandleIsInert) {
   EventHandle handle;
   EXPECT_FALSE(handle.pending());
   EXPECT_FALSE(handle.cancel());
+}
+
+// Regression: EventHandle used to be copyable, so two copies could both hold
+// the same EventId and race to cancel it. The handle is now move-only and
+// cancellation rights travel with the move.
+TEST(Simulator, HandleIsMoveOnly) {
+  static_assert(!std::is_copy_constructible_v<EventHandle>);
+  static_assert(!std::is_copy_assignable_v<EventHandle>);
+  static_assert(std::is_move_constructible_v<EventHandle>);
+  static_assert(std::is_move_assignable_v<EventHandle>);
+}
+
+TEST(Simulator, MoveTransfersCancellationRight) {
+  Simulator sim;
+  bool ran = false;
+  EventHandle original = sim.schedule_after(1_ms, [&] { ran = true; });
+  EventHandle moved = std::move(original);
+  // The moved-from handle is inert: it can no longer observe or cancel.
+  EXPECT_FALSE(original.pending());  // NOLINT(bugprone-use-after-move)
+  EXPECT_FALSE(original.cancel());
+  // The event is still scheduled and only the new owner controls it.
+  EXPECT_TRUE(moved.pending());
+  EXPECT_TRUE(moved.cancel());
+  EXPECT_FALSE(moved.cancel());  // idempotent across repeated calls
+  sim.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Simulator, MoveAssignmentReleasesSource) {
+  Simulator sim;
+  EventHandle a = sim.schedule_after(1_ms, [] {});
+  EventHandle b;
+  b = std::move(a);
+  EXPECT_FALSE(a.pending());  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(b.pending());
+  EXPECT_TRUE(b.cancel());
+  EXPECT_FALSE(b.pending());
+  EXPECT_FALSE(b.cancel());
 }
 
 TEST(Simulator, StepExecutesExactlyOne) {

@@ -1,0 +1,162 @@
+// util/hash + util/cache: the primitives the experiment engine's
+// content-addressed result cache stands on. The FNV-1a constants and the
+// bit-pattern double round-trip are pinned here because every cache key and
+// cached payload depends on them staying exactly as they are.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "util/cache.hpp"
+#include "util/hash.hpp"
+#include "util/parallel.hpp"
+
+namespace {
+
+using namespace drs;
+
+std::string temp_dir(const char* tag) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   (std::string("drs-cache-test-") + tag + "-" +
+                    std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+  return dir.string();
+}
+
+TEST(Fnv1a64, PinnedConstants) {
+  // Reference values of the standard 64-bit FNV-1a parameters. If these move,
+  // every cache entry ever written is orphaned — that must be a conscious
+  // format bump, not an accident.
+  EXPECT_EQ(util::fnv1a64(""), 0xcbf29ce484222325ull);
+  EXPECT_EQ(util::fnv1a64("a"), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(util::fnv1a64("foobar"), 0x85944171f73967e8ull);
+  static_assert(util::fnv1a64("drs") != 0, "constexpr evaluation works");
+}
+
+TEST(Fnv1a64, HexRendering) {
+  EXPECT_EQ(util::to_hex64(0), "0000000000000000");
+  EXPECT_EQ(util::to_hex64(0xdeadbeefull), "00000000deadbeef");
+  EXPECT_EQ(util::to_hex64(~0ull), "ffffffffffffffff");
+}
+
+TEST(DoubleBits, RoundTripsExactly) {
+  const double values[] = {0.0,
+                           -0.0,
+                           1.0,
+                           -1.5,
+                           0.1,
+                           1e-300,
+                           1e300,
+                           std::numeric_limits<double>::infinity(),
+                           std::numeric_limits<double>::denorm_min(),
+                           3.141592653589793};
+  for (const double v : values) {
+    double back = 0.0;
+    ASSERT_TRUE(util::double_from_bits_hex(util::double_bits_hex(v), back));
+    // Bit equality, not ==: distinguishes -0.0 from 0.0.
+    EXPECT_EQ(std::signbit(back), std::signbit(v));
+    EXPECT_EQ(util::double_bits_hex(back), util::double_bits_hex(v));
+  }
+  double nan_back = 0.0;
+  ASSERT_TRUE(util::double_from_bits_hex(
+      util::double_bits_hex(std::numeric_limits<double>::quiet_NaN()),
+      nan_back));
+  EXPECT_TRUE(std::isnan(nan_back));
+}
+
+TEST(DoubleBits, RejectsMalformedInput) {
+  double out = 0.0;
+  EXPECT_FALSE(util::double_from_bits_hex("", out));
+  EXPECT_FALSE(util::double_from_bits_hex("123", out));
+  EXPECT_FALSE(util::double_from_bits_hex("zzzzzzzzzzzzzzzz", out));
+  EXPECT_FALSE(util::double_from_bits_hex("00000000000000000", out));
+}
+
+TEST(DiskCache, DisabledCacheIsANoOp) {
+  util::DiskCache cache("");
+  EXPECT_FALSE(cache.enabled());
+  EXPECT_FALSE(cache.put("key", "payload"));
+  EXPECT_FALSE(cache.get("key").has_value());
+}
+
+TEST(DiskCache, PutThenGetRoundTrips) {
+  util::DiskCache cache(temp_dir("roundtrip"));
+  ASSERT_TRUE(cache.enabled());
+  EXPECT_FALSE(cache.get("k1").has_value());
+  ASSERT_TRUE(cache.put("k1", "hello\nworld\n"));
+  const auto payload = cache.get("k1");
+  ASSERT_TRUE(payload.has_value());
+  EXPECT_EQ(*payload, "hello\nworld\n");
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.stores, 1u);
+  std::filesystem::remove_all(cache.dir());
+}
+
+TEST(DiskCache, EmbeddedKeyIsVerifiedOnRead) {
+  util::DiskCache cache(temp_dir("collision"));
+  ASSERT_TRUE(cache.put("real-key", "real-payload"));
+  // Simulate a hash collision: another key's entry lands at this key's path.
+  {
+    std::ofstream f(cache.entry_path("real-key"), std::ios::binary);
+    f << "drs-cache v1\nother-key\nother-payload";
+  }
+  // The embedded key no longer matches -> miss, never the wrong payload.
+  EXPECT_FALSE(cache.get("real-key").has_value());
+  std::filesystem::remove_all(cache.dir());
+}
+
+TEST(DiskCache, CorruptMagicIsAMiss) {
+  util::DiskCache cache(temp_dir("magic"));
+  ASSERT_TRUE(cache.put("k", "payload"));
+  {
+    std::ofstream f(cache.entry_path("k"), std::ios::binary);
+    f << "not-a-cache-file";
+  }
+  EXPECT_FALSE(cache.get("k").has_value());
+  std::filesystem::remove_all(cache.dir());
+}
+
+TEST(DiskCache, ConcurrentWritersNeverCorrupt) {
+  // Many threads race puts and gets over a small key space; every get must
+  // observe either a miss or a complete, correct payload. Run under
+  // DRS_SANITIZE=thread this also proves the counters are race-free.
+  util::DiskCache cache(temp_dir("race"));
+  constexpr int kKeys = 8;
+  const auto payload_for = [](int k) {
+    return "payload-" + std::to_string(k) + std::string(1024, 'x') + "\n";
+  };
+  util::run_indexed_jobs(64, 8, [&](std::uint64_t i) {
+    const int k = static_cast<int>(i) % kKeys;
+    const std::string key = "key-" + std::to_string(k);
+    cache.put(key, payload_for(k));
+    if (const auto got = cache.get(key)) {
+      EXPECT_EQ(*got, payload_for(k)) << "torn read on " << key;
+    }
+    return 0;
+  });
+  // After the dust settles every key reads back complete.
+  for (int k = 0; k < kKeys; ++k) {
+    const auto got = cache.get("key-" + std::to_string(k));
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, payload_for(k));
+  }
+  std::filesystem::remove_all(cache.dir());
+}
+
+TEST(DiskCache, RejectsKeysWithNewlines) {
+  util::DiskCache cache(temp_dir("badkey"));
+  EXPECT_FALSE(cache.put("bad\nkey", "payload"));
+  EXPECT_FALSE(cache.put("", "payload"));
+  std::filesystem::remove_all(cache.dir());
+}
+
+}  // namespace
