@@ -34,7 +34,7 @@ u128 success_count(std::int64_t nodes, std::int64_t failures);
 u128 total_count(std::int64_t nodes, std::int64_t failures);
 
 /// Equation 1. Exact ratio of exact counts, evaluated in double.
-double p_success(std::int64_t nodes, std::int64_t failures);
+[[nodiscard]] double p_success(std::int64_t nodes, std::int64_t failures);
 
 /// Smallest N (searching from max(2, f-ish) upward) with
 /// p_success(N, f) >= target. The paper reports 18/32/45 for f=2/3/4 at 0.99.
@@ -63,11 +63,11 @@ std::vector<SeriesPoint> success_series(std::int64_t failures, std::int64_t n_mi
 // count.
 
 /// P[exactly f of the 2N+2 components are failed] = C(M,f) q^f (1-q)^(M-f).
-double failure_count_pmf(std::int64_t nodes, std::int64_t failures, double q);
+[[nodiscard]] double failure_count_pmf(std::int64_t nodes, std::int64_t failures, double q);
 
 /// Unconditional P[pair communicates] = sum_f pmf(f) * p_success(N, f).
 /// Defined for 0 <= q <= 1 and N <= 64 (exact Equation 1 under the sum).
-double p_success_unconditional(std::int64_t nodes, double q);
+[[nodiscard]] double p_success_unconditional(std::int64_t nodes, double q);
 
 // ---------------------------------------------------------------------------
 // System-wide survivability (extension beyond the paper)
@@ -84,6 +84,6 @@ double p_success_unconditional(std::int64_t nodes, double q);
 u128 all_pairs_success_count(std::int64_t nodes, std::int64_t failures);
 
 /// all_pairs_success_count / C(2N+2, f).
-double p_all_pairs_success(std::int64_t nodes, std::int64_t failures);
+[[nodiscard]] double p_all_pairs_success(std::int64_t nodes, std::int64_t failures);
 
 }  // namespace drs::analytic

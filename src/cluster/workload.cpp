@@ -21,6 +21,7 @@ struct RequestReplyWorkload::ClientState {
     util::SimTime sent;
     sim::EventHandle timeout;
   };
+  // drs-lint: unordered-ok(keyed by request id for reply matching; never iterated)
   std::unordered_map<std::uint64_t, Pending> pending;
 };
 

@@ -84,7 +84,7 @@ class DrsSystemBuilder {
 
   /// Assembles the deployment. Throws std::invalid_argument when the
   /// configuration fails DrsConfig::validate().
-  DrsDeployment build() const;
+  [[nodiscard]] DrsDeployment build() const;
 
  private:
   std::uint16_t node_count_ = 8;

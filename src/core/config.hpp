@@ -86,7 +86,7 @@ struct DrsConfig {
   /// threshold), nullopt when the configuration is usable. DrsSystem and the
   /// chaos runner reject invalid configurations up front instead of silently
   /// misbehaving.
-  std::optional<std::string> validate() const;
+  [[nodiscard]] std::optional<std::string> validate() const;
 };
 
 /// Upper bound on the time this configuration needs to detect a topology
@@ -97,7 +97,7 @@ struct DrsConfig {
 /// up empty and be retried next cycle), plus a small in-flight margin. The
 /// chaos invariant checkers treat reachability gaps longer than this as
 /// protocol violations.
-inline util::Duration worst_case_repair_bound(const DrsConfig& c) {
+[[nodiscard]] inline util::Duration worst_case_repair_bound(const DrsConfig& c) {
   return c.probe_interval * static_cast<std::int64_t>(c.failures_to_down + 2) +
          c.probe_timeout * 2 + c.discover_timeout * 2 +
          util::Duration::millis(50);

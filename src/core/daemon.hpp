@@ -167,6 +167,7 @@ class DrsDaemon {
   std::map<net::NodeId, PeerState> peers_;
   std::map<LeaseKey, Lease> leases_;
   sim::PeriodicTimer cycle_timer_;
+  // drs-lint: unordered-ok(membership by probe seq; only iterated to cancel pings on stop, order unobservable)
   std::unordered_set<std::uint16_t> outstanding_probes_;
   std::vector<sim::EventHandle> pending_probe_sends_;
   std::uint32_t next_request_seq_ = 1;

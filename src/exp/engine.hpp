@@ -53,8 +53,8 @@ struct ExperimentResult {
   /// axis, invalid config); no cells were run in that case.
   std::string error;
 
-  bool ok() const { return error.empty(); }
-  double hit_rate() const {
+  [[nodiscard]] bool ok() const { return error.empty(); }
+  [[nodiscard]] double hit_rate() const {
     const std::uint64_t total = cache_hits + cache_misses;
     return total == 0 ? 0.0 : static_cast<double>(cache_hits) /
                                   static_cast<double>(total);
@@ -73,29 +73,30 @@ struct ExperimentResult {
   /// Canonical machine report: no whitespace, keys in a fixed order, doubles
   /// rendered by util::JsonWriter. Deliberately excludes cache statistics so
   /// warm and cold runs byte-compare equal.
-  std::string to_json() const;
+  [[nodiscard]] std::string to_json() const;
 
   /// Parameter columns then output columns, one row per cell — the same
   /// util::Table the figure benches print.
-  util::Table to_table() const;
+  [[nodiscard]] util::Table to_table() const;
 };
 
 /// Runs one spec to completion. Never throws on a bad spec — the error lands
 /// in ExperimentResult::error (scenario functions may still throw, e.g. on a
 /// DrsConfig the family itself rejects).
-ExperimentResult run_experiment(const ExperimentSpec& spec,
-                                const EngineOptions& options = {});
+[[nodiscard]] ExperimentResult run_experiment(const ExperimentSpec& spec,
+                                              const EngineOptions& options = {});
 
 // Exposed for tests and diagnostics -----------------------------------------
 
 /// The full cache key of one cell under the contract above.
-std::string cell_cache_key(const ExperimentSpec& spec, const Scenario& scenario,
-                           const Cell& cell);
+[[nodiscard]] std::string cell_cache_key(const ExperimentSpec& spec,
+                                         const Scenario& scenario,
+                                         const Cell& cell);
 
 /// Cached payload format: one "name=<canonical value>" line per output.
 /// Doubles travel as bit patterns, so parse_outputs(serialize_outputs(o))
 /// reproduces o bit-for-bit.
-std::string serialize_outputs(const Outputs& outputs);
-bool parse_outputs(const std::string& payload, Outputs& outputs);
+[[nodiscard]] std::string serialize_outputs(const Outputs& outputs);
+[[nodiscard]] bool parse_outputs(const std::string& payload, Outputs& outputs);
 
 }  // namespace drs::exp

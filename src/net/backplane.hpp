@@ -112,7 +112,9 @@ class Backplane {
   bool failed_ = false;
   util::SimTime busy_until_ = util::SimTime::zero();
   /// Per-port busy-until times (switch mode), keyed by NIC MAC value.
+  // drs-lint: unordered-ok(keyed lookup/clear only; never iterated)
   std::unordered_map<std::uint64_t, util::SimTime> ingress_busy_;
+  // drs-lint: unordered-ok(keyed lookup/clear only; never iterated)
   std::unordered_map<std::uint64_t, util::SimTime> egress_busy_;
   double busy_seconds_ = 0.0;
   /// Deliveries scheduled before the most recent failure are invalidated by

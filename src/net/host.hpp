@@ -92,7 +92,9 @@ class Host : public FrameSink {
   NodeId id_;
   std::array<std::unique_ptr<Nic>, kNetworksPerHost> nics_;
   RoutingTable routing_table_;
+  // drs-lint: unordered-ok(ARP lookups by destination IP only; never iterated)
   std::unordered_map<Ipv4Addr, MacAddr> arp_;
+  // drs-lint: unordered-ok(dispatch by protocol number only; never iterated)
   std::unordered_map<std::uint8_t, PacketHandler> handlers_;
   Counters counters_;
   Tap tap_;

@@ -76,6 +76,7 @@ class IcmpService {
   net::Host& host_;
   std::uint16_t ident_;
   std::uint16_t next_seq_ = 1;
+  // drs-lint: unordered-ok(lookup by seq; only iterated to cancel timers on reset, order unobservable)
   std::unordered_map<std::uint16_t, Outstanding> outstanding_;
   std::uint64_t answered_ = 0;
   std::uint64_t sent_ = 0;

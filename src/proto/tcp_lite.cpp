@@ -326,6 +326,7 @@ TcpConnectionPtr TcpService::connect(net::Ipv4Addr dst, std::uint16_t dst_port,
   const auto route = host_.routing_table().lookup(dst);
   const net::Ipv4Addr local_ip =
       route ? host_.ip(route->out_ifindex) : host_.ip(net::kNetworkA);
+  // drs-lint: raw-new-ok(private ctor blocks make_shared; owned immediately)
   TcpConnectionPtr connection(new TcpConnection(*this, local_ip, dst, local_port,
                                                 dst_port, config,
                                                 /*active_open=*/true));
@@ -352,6 +353,7 @@ void TcpService::on_packet(const net::Packet& packet, net::NetworkId in_ifindex)
     auto listener = listeners_.find(segment->dst_port);
     if (listener != listeners_.end()) {
       TcpConnectionPtr connection(
+          // drs-lint: raw-new-ok(private ctor blocks make_shared; owned immediately)
           new TcpConnection(*this, packet.dst, packet.src, segment->dst_port,
                             segment->src_port, listener->second.config,
                             /*active_open=*/false));

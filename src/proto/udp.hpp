@@ -57,6 +57,7 @@ class UdpService {
   void on_packet(const net::Packet& packet, net::NetworkId in_ifindex);
 
   net::Host& host_;
+  // drs-lint: unordered-ok(dispatch by destination port only; never iterated)
   std::unordered_map<std::uint16_t, UdpHandler> ports_;
   std::uint64_t delivered_ = 0;
   std::uint64_t no_port_ = 0;

@@ -66,7 +66,9 @@ class EventQueue {
   void skip_tombstones();
 
   std::vector<Entry> heap_;
+  // drs-lint: unordered-ok(membership tests only; execution order comes from heap_ EventId tie-breaks)
   std::unordered_set<EventId> pending_;    // scheduled, not executed/cancelled
+  // drs-lint: unordered-ok(membership tests only; never iterated)
   std::unordered_set<EventId> cancelled_;  // tombstones still in heap_
   std::size_t live_ = 0;
   EventId next_id_ = 1;

@@ -35,7 +35,7 @@ std::string to_hex64(std::uint64_t v);
 /// decimal and parsing it back is not guaranteed bit-exact across libcs, but
 /// the bit pattern round-trips perfectly, which the bit-reproducible-JSON
 /// contract requires.
-std::string double_bits_hex(double v);
+[[nodiscard]] std::string double_bits_hex(double v);
 
 /// Inverse of double_bits_hex. Returns false on malformed input.
 bool double_from_bits_hex(std::string_view hex, double& out);

@@ -80,6 +80,7 @@ std::string Table::to_csv() const {
 }
 
 std::string export_table_csv(const std::string& name, const Table& table) {
+  // drs-lint: banned-ok(selects where CSVs land, never what they contain)
   const char* override_dir = std::getenv("DRSNET_BENCH_OUT");
   const std::string dir = override_dir ? override_dir : "bench_results";
   if (dir.empty()) return {};

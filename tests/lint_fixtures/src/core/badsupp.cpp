@@ -1,0 +1,10 @@
+// Two malformed suppressions: an empty reason and an unknown rule id.
+namespace fixture {
+
+// drs-lint: banned-ok()
+int a() { return 1; }
+
+// drs-lint: nosuchrule-ok(reason here)
+int b() { return 2; }
+
+}  // namespace fixture

@@ -1,0 +1,20 @@
+// One banned-rule violation per line: six unsuppressed findings.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace fixture {
+
+long nondeterministic_soup() {
+  long acc = std::rand();
+  std::random_device rd;
+  acc += static_cast<long>(rd());
+  acc += std::chrono::system_clock::now().time_since_epoch().count();
+  acc += std::chrono::steady_clock::now().time_since_epoch().count();
+  if (std::getenv("FIXTURE_KNOB") != nullptr) acc += 1;
+  acc += static_cast<long>(time(nullptr));
+  return acc;
+}
+
+}  // namespace fixture

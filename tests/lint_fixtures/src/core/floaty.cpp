@@ -1,0 +1,9 @@
+// Single-precision arithmetic: one float finding (the rule is line-level).
+namespace fixture {
+
+double halve(double x) {
+  float narrowed = static_cast<float>(x) * 0.5f;
+  return static_cast<double>(narrowed);
+}
+
+}  // namespace fixture

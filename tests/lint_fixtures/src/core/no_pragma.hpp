@@ -1,0 +1,7 @@
+// Deliberately missing the include guard: one pragma-once finding.
+
+namespace fixture {
+
+struct Bare {};
+
+}  // namespace fixture

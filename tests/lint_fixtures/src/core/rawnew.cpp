@@ -1,0 +1,14 @@
+// Raw allocation: one raw-new finding for `new`, one for `delete`. The
+// deleted copy constructor must NOT fire — `= delete` is a declaration.
+namespace fixture {
+
+struct Widget {
+  Widget() = default;
+  Widget(const Widget&) = delete;
+};
+
+int* make_one() { return new int(7); }
+
+void drop_one(int* p) { delete p; }
+
+}  // namespace fixture

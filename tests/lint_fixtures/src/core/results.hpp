@@ -1,0 +1,15 @@
+// nodiscard rule: validate_settings fires (validation verdict, Result type),
+// audited is clean because it already carries the attribute.
+#pragma once
+
+namespace fixture {
+
+struct CheckResult {
+  bool ok = false;
+};
+
+CheckResult validate_settings();
+
+[[nodiscard]] CheckResult audited();
+
+}  // namespace fixture

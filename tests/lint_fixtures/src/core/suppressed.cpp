@@ -1,0 +1,12 @@
+// A banned call carrying a well-formed suppression: one suppressed finding.
+#include <random>
+
+namespace fixture {
+
+int noisy_seed() {
+  // drs-lint: banned-ok(fixture proves suppression machinery)
+  std::random_device rd;
+  return static_cast<int>(rd());
+}
+
+}  // namespace fixture

@@ -1,0 +1,16 @@
+// Unordered-container rule: the first member fires, the annotated one is a
+// suppressed finding.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace fixture {
+
+struct Fleet {
+  std::unordered_map<std::uint64_t, int> by_id;
+  // drs-lint: unordered-ok(lookup only; never iterated)
+  std::unordered_map<std::uint64_t, int> annotated;
+};
+
+}  // namespace fixture

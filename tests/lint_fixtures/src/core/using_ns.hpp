@@ -1,0 +1,12 @@
+// Namespace pollution in a header: one using-namespace finding.
+#pragma once
+
+#include <string>
+
+using namespace std;
+
+namespace fixture {
+
+inline string shout(const string& s) { return s + "!"; }
+
+}  // namespace fixture

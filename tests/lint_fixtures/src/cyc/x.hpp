@@ -1,0 +1,10 @@
+// Half of a two-header include cycle (one cycle finding, reported once).
+#pragma once
+
+#include "cyc/y.hpp"
+
+namespace fixture {
+
+inline int x_value() { return 1; }
+
+}  // namespace fixture

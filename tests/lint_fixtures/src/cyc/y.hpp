@@ -1,0 +1,10 @@
+// The other half of the include cycle.
+#pragma once
+
+#include "cyc/x.hpp"
+
+namespace fixture {
+
+inline int y_value() { return 2; }
+
+}  // namespace fixture

@@ -1,0 +1,8 @@
+// No file includes this header: one dead-header finding.
+#pragma once
+
+namespace fixture {
+
+constexpr int kOrphan = 3;
+
+}  // namespace fixture

@@ -1,0 +1,11 @@
+// layer_a's declared deps are {util} only, so this include is one layer
+// finding.
+#pragma once
+
+#include "layer_b/b.hpp"
+
+namespace fixture {
+
+inline int depth() { return fixture_b_value() + 1; }
+
+}  // namespace fixture

@@ -1,0 +1,8 @@
+// Clean header; exists to be illegally included by layer_a.
+#pragma once
+
+namespace fixture {
+
+inline int fixture_b_value() { return 41; }
+
+}  // namespace fixture

@@ -1,0 +1,12 @@
+// Anchors the fixture include graph: every header except dead/orphan.hpp is
+// reachable from here, so exactly one dead-header finding fires.
+#include "core/no_pragma.hpp"
+#include "core/results.hpp"
+#include "core/unordered.hpp"
+#include "core/using_ns.hpp"
+#include "cyc/x.hpp"
+#include "layer_a/a.hpp"
+#include "layer_b/b.hpp"
+#include "util/helpers.hpp"
+
+int main() { return 0; }

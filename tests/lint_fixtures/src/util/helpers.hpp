@@ -1,0 +1,8 @@
+// Fully clean header: zero findings.
+#pragma once
+
+namespace fixture {
+
+inline int add(int a, int b) { return a + b; }
+
+}  // namespace fixture

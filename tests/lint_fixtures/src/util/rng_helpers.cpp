@@ -1,0 +1,12 @@
+// Lives under the util/rng allowlist prefix, so the entropy source below is
+// NOT a finding — this is the one place allowed to touch hardware entropy.
+#include <random>
+
+namespace fixture {
+
+unsigned hardware_entropy() {
+  std::random_device rd;
+  return rd();
+}
+
+}  // namespace fixture

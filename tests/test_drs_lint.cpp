@@ -1,0 +1,148 @@
+// drs-lint's own coverage: the fixture tree under tests/lint_fixtures/ makes
+// every rule fire with known counts and exercises the suppression machinery,
+// and the real tree must lint clean — so inserting, say, a
+// std::random_device into src/core/daemon.cpp fails this test.
+//
+// The binary and paths arrive via compile definitions (see tests/CMakeLists):
+//   DRS_LINT_BIN       absolute path to the drs-lint executable
+//   DRS_LINT_ROOT      the repository root (real-tree run)
+//   DRS_LINT_FIXTURES  tests/lint_fixtures
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <utility>
+
+#include <sys/wait.h>
+
+namespace {
+
+struct RunResult {
+  int exit_code = -1;
+  std::string out;
+};
+
+RunResult run(const std::string& cmd) {
+  RunResult result;
+  FILE* pipe = popen((cmd + " 2>/dev/null").c_str(), "r");
+  if (pipe == nullptr) return result;
+  std::array<char, 4096> buf{};
+  std::size_t n = 0;
+  while ((n = fread(buf.data(), 1, buf.size(), pipe)) > 0) {
+    result.out.append(buf.data(), n);
+  }
+  const int status = pclose(pipe);
+  if (WIFEXITED(status)) result.exit_code = WEXITSTATUS(status);
+  return result;
+}
+
+std::string fixture_cmd() {
+  return std::string(DRS_LINT_BIN) + " --root " + DRS_LINT_FIXTURES +
+         " --config " + DRS_LINT_FIXTURES + "/lint.conf --json --quiet";
+}
+
+/// Counts finding objects in the JSON report per (rule, suppressed) by
+/// walking the canonical key order the report writes: rule first,
+/// suppressed later in the same object.
+std::map<std::pair<std::string, bool>, int> tally(const std::string& json) {
+  std::map<std::pair<std::string, bool>, int> counts;
+  const std::string marker = "{\"rule\":\"";
+  std::size_t pos = json.find(marker);
+  while (pos != std::string::npos) {
+    const std::size_t rule_begin = pos + marker.size();
+    const std::size_t rule_end = json.find('"', rule_begin);
+    const std::size_t obj_end = json.find('}', pos);
+    if (rule_end == std::string::npos || obj_end == std::string::npos) break;
+    const std::string rule = json.substr(rule_begin, rule_end - rule_begin);
+    const bool suppressed =
+        json.find("\"suppressed\":true", pos) < obj_end;
+    ++counts[{rule, suppressed}];
+    pos = json.find(marker, obj_end);
+  }
+  return counts;
+}
+
+}  // namespace
+
+TEST(DrsLint, FixtureTreeFiresEveryRuleWithExactCounts) {
+  const RunResult result = run(fixture_cmd());
+  ASSERT_EQ(result.exit_code, 1) << result.out;
+
+  const auto counts = tally(result.out);
+  const std::map<std::pair<std::string, bool>, int> expected = {
+      {{"banned", false}, 6},     {{"banned", true}, 1},
+      {{"unordered", false}, 1},  {{"unordered", true}, 1},
+      {{"pragma-once", false}, 1},
+      {{"using-namespace", false}, 1},
+      {{"float", false}, 1},
+      {{"raw-new", false}, 2},
+      {{"nodiscard", false}, 1},
+      {{"bad-suppression", false}, 2},
+      {{"layer", false}, 1},
+      {{"cycle", false}, 1},
+      {{"dead-header", false}, 1},
+  };
+  EXPECT_EQ(counts, expected) << result.out;
+  EXPECT_NE(result.out.find("\"total\":20"), std::string::npos);
+  EXPECT_NE(result.out.find("\"suppressed\":2"), std::string::npos);
+  EXPECT_NE(result.out.find("\"unsuppressed\":18"), std::string::npos);
+}
+
+TEST(DrsLint, FindingsCarryFileLineAndRule) {
+  const RunResult result = run(fixture_cmd());
+  // Spot-check anchors for each family: determinism, layering, hygiene.
+  EXPECT_NE(result.out.find("\"rule\":\"banned\",\"file\":\"src/core/banned.cpp\""),
+            std::string::npos);
+  EXPECT_NE(result.out.find("\"rule\":\"layer\",\"file\":\"src/layer_a/a.hpp\",\"line\":5"),
+            std::string::npos);
+  EXPECT_NE(result.out.find("src/cyc/x.hpp -> src/cyc/y.hpp"), std::string::npos);
+  EXPECT_NE(result.out.find("\"rule\":\"dead-header\",\"file\":\"src/dead/orphan.hpp\""),
+            std::string::npos);
+  EXPECT_NE(result.out.find("\"rule\":\"pragma-once\",\"file\":\"src/core/no_pragma.hpp\""),
+            std::string::npos);
+}
+
+TEST(DrsLint, SuppressionsCarryTheirReason) {
+  const RunResult result = run(fixture_cmd());
+  // The well-formed suppression surfaces as a suppressed finding with its
+  // reason; the allowlisted util/rng file produces no finding at all.
+  EXPECT_NE(result.out.find("fixture proves suppression machinery"),
+            std::string::npos);
+  EXPECT_EQ(result.out.find("rng_helpers"), std::string::npos);
+  // Malformed suppressions are findings, not silent no-ops.
+  EXPECT_NE(result.out.find("needs a non-empty reason"), std::string::npos);
+  EXPECT_NE(result.out.find("unknown rule 'nosuchrule'"), std::string::npos);
+}
+
+TEST(DrsLint, ReportIsDeterministic) {
+  const RunResult a = run(fixture_cmd());
+  const RunResult b = run(fixture_cmd());
+  EXPECT_EQ(a.out, b.out);
+  EXPECT_EQ(a.exit_code, b.exit_code);
+}
+
+TEST(DrsLint, RuleCatalogIsStable) {
+  const RunResult result = run(std::string(DRS_LINT_BIN) + " --list-rules");
+  ASSERT_EQ(result.exit_code, 0);
+  for (const char* rule :
+       {"banned", "unordered", "layer", "cycle", "dead-header", "pragma-once",
+        "using-namespace", "float", "raw-new", "nodiscard", "bad-suppression"}) {
+    EXPECT_NE(result.out.find(rule), std::string::npos) << rule;
+  }
+}
+
+TEST(DrsLint, RealTreeLintsClean) {
+  const RunResult result = run(std::string(DRS_LINT_BIN) + " --root " +
+                               DRS_LINT_ROOT + " --json --quiet");
+  EXPECT_EQ(result.exit_code, 0) << result.out;
+  EXPECT_NE(result.out.find("\"unsuppressed\":0"), std::string::npos)
+      << result.out;
+}
+
+TEST(DrsLint, BadConfigIsAUsageError) {
+  const RunResult result = run(std::string(DRS_LINT_BIN) + " --root " +
+                               DRS_LINT_FIXTURES + " --config /nonexistent");
+  EXPECT_EQ(result.exit_code, 2);
+}

@@ -1,0 +1,105 @@
+// drs-lint: project-aware static analysis for the DRS source tree.
+//
+// A deliberately self-contained C++17 binary (no libclang, no third-party
+// dependencies): a lexer-lite scanner strips comments and literals, extracts
+// the quoted-include graph and `// drs-lint: <rule>-ok(<reason>)` suppression
+// comments, and a fixed catalog of rules checks three contract families the
+// repo's reproducibility story depends on:
+//
+//   determinism  — banned nondeterministic calls, unannotated unordered
+//                  containers (rules: banned, unordered)
+//   layering     — the include graph must match the DAG declared in
+//                  tools/lint/layers.txt (rules: layer, cycle, dead-header)
+//   API hygiene  — pragma-once, using-namespace, float, raw-new, nodiscard
+//
+// See docs/STATIC-ANALYSIS.md for the rule catalog and suppression syntax.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace drslint {
+
+struct SourceLine {
+  std::string raw;      // the line as written (for #include extraction)
+  std::string code;     // comments and literal contents blanked out
+  std::string comment;  // concatenated comment text carried by this line
+};
+
+struct Suppression {
+  std::string rule;
+  std::string reason;
+  int comment_line = 0;  // where the comment physically lives (1-based)
+  int target_line = 0;   // line of code the suppression covers (1-based)
+};
+
+struct IncludeEdge {
+  int line = 0;
+  std::string target;  // root-relative path of the resolved included file
+};
+
+struct SourceFile {
+  std::string rel;       // path relative to the analysis root, '/'-separated
+  std::string scan_rel;  // path relative to its scan dir ("" for refs files)
+  std::string module;    // declared module ("" when unmapped)
+  bool header = false;
+  bool enforced = false;  // true for `scan` trees, false for `refs` trees
+  std::vector<SourceLine> lines;  // lines[0] is line 1
+  std::vector<Suppression> suppressions;
+  std::vector<IncludeEdge> includes;
+  // Malformed suppression comments found while scanning: (line, message).
+  std::vector<std::pair<int, std::string>> bad_suppressions;
+};
+
+struct ModuleRule {
+  std::set<std::string> deps;  // modules this module may include
+  bool any = false;            // "*": may include every module
+};
+
+struct Config {
+  std::vector<std::string> scan_dirs;  // enforced trees, relative to root
+  std::vector<std::string> ref_dirs;   // include-reference-only trees
+  std::map<std::string, ModuleRule> modules;
+  // Longest-prefix overrides mapping a scan-relative path to a module.
+  std::vector<std::pair<std::string, std::string>> file_modules;
+  std::vector<std::string> banned_allow;  // scan-relative path prefixes
+  std::set<std::string> nodiscard_modules;
+  std::string path;  // where the config was read from (for diagnostics)
+};
+
+struct Finding {
+  std::string rule;
+  std::string file;  // root-relative
+  int line = 0;
+  std::string message;
+  bool suppressed = false;
+  std::string reason;  // suppression reason when suppressed
+};
+
+bool is_known_rule(const std::string& id);
+const std::vector<std::string>& rule_ids();
+
+// scanner.cpp ---------------------------------------------------------------
+
+/// Parses layers.txt-style config. Returns false (with `error`) on syntax
+/// errors, undeclared modules, or a cyclic module DAG.
+bool parse_config(const std::string& path, Config& config, std::string& error);
+
+/// Walks the configured scan/refs trees under `root` (deterministic order),
+/// strips every source file, extracts includes + suppressions, and assigns
+/// modules. Returns false (with `error`) when a tree is missing.
+bool load_tree(const std::string& root, Config& config,
+               std::vector<SourceFile>& files, std::string& error);
+
+// rules.cpp -----------------------------------------------------------------
+
+/// Runs the full rule catalog and applies suppressions. Findings are sorted
+/// by (file, line, rule).
+std::vector<Finding> run_rules(const Config& config,
+                               std::vector<SourceFile>& files);
+
+}  // namespace drslint

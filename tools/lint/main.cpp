@@ -1,0 +1,199 @@
+// drs-lint CLI: argument parsing, human diagnostics, machine-readable JSON.
+//
+// Exit codes: 0 clean (suppressed findings allowed), 1 unsuppressed findings,
+// 2 usage/config error.
+#include "lint.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+struct Summary {
+  std::size_t total = 0;
+  std::size_t suppressed = 0;
+  std::map<std::string, std::pair<std::size_t, std::size_t>> by_rule;
+};
+
+Summary summarize(const std::vector<drslint::Finding>& findings) {
+  Summary s;
+  for (const auto& f : findings) {
+    ++s.total;
+    auto& [rule_total, rule_suppressed] = s.by_rule[f.rule];
+    ++rule_total;
+    if (f.suppressed) {
+      ++s.suppressed;
+      ++rule_suppressed;
+    }
+  }
+  return s;
+}
+
+std::string to_json(const std::string& root, const std::string& config_path,
+                    std::size_t files_scanned,
+                    const std::vector<drslint::Finding>& findings) {
+  const Summary s = summarize(findings);
+  std::string out = "{";
+  out += "\"drs_lint\":1";
+  out += ",\"root\":\"" + json_escape(root) + "\"";
+  out += ",\"config\":\"" + json_escape(config_path) + "\"";
+  out += ",\"files_scanned\":" + std::to_string(files_scanned);
+  out += ",\"findings\":[";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const auto& f = findings[i];
+    if (i) out += ",";
+    out += "{\"rule\":\"" + json_escape(f.rule) + "\"";
+    out += ",\"file\":\"" + json_escape(f.file) + "\"";
+    out += ",\"line\":" + std::to_string(f.line);
+    out += ",\"message\":\"" + json_escape(f.message) + "\"";
+    out += ",\"suppressed\":";
+    out += f.suppressed ? "true" : "false";
+    out += ",\"reason\":\"" + json_escape(f.reason) + "\"}";
+  }
+  out += "],\"summary\":{";
+  out += "\"total\":" + std::to_string(s.total);
+  out += ",\"suppressed\":" + std::to_string(s.suppressed);
+  out += ",\"unsuppressed\":" + std::to_string(s.total - s.suppressed);
+  out += ",\"by_rule\":{";
+  bool first = true;
+  for (const auto& [rule, counts] : s.by_rule) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + json_escape(rule) + "\":{\"total\":" +
+           std::to_string(counts.first) +
+           ",\"suppressed\":" + std::to_string(counts.second) + "}";
+  }
+  out += "}}}";
+  return out;
+}
+
+int usage(int code) {
+  std::ostream& out = code == 0 ? std::cout : std::cerr;
+  out << "drs-lint: static-analysis pass for the DRS tree\n"
+         "\n"
+         "usage: drs-lint [--root DIR] [--config FILE] [--json]\n"
+         "                [--json-out FILE] [--quiet] [--list-rules]\n"
+         "\n"
+         "  --root DIR       analysis root (default: .)\n"
+         "  --config FILE    layering/allowlist config\n"
+         "                   (default: <root>/tools/lint/layers.txt)\n"
+         "  --json           print the machine-readable report to stdout\n"
+         "  --json-out FILE  also write the JSON report to FILE\n"
+         "  --quiet          no per-finding human diagnostics\n"
+         "  --list-rules     print the rule catalog and exit\n"
+         "\n"
+         "exit: 0 clean, 1 unsuppressed findings, 2 usage/config error\n";
+  return code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::string config_path;
+  std::string json_out;
+  bool json = false;
+  bool quiet = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--root") {
+      const char* v = next();
+      if (!v) return usage(2);
+      root = v;
+    } else if (arg == "--config") {
+      const char* v = next();
+      if (!v) return usage(2);
+      config_path = v;
+    } else if (arg == "--json-out") {
+      const char* v = next();
+      if (!v) return usage(2);
+      json_out = v;
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--list-rules") {
+      for (const auto& rule : drslint::rule_ids()) std::cout << rule << "\n";
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      return usage(0);
+    } else {
+      std::cerr << "drs-lint: unknown argument '" << arg << "'\n";
+      return usage(2);
+    }
+  }
+  if (config_path.empty()) config_path = root + "/tools/lint/layers.txt";
+
+  drslint::Config config;
+  std::string error;
+  if (!drslint::parse_config(config_path, config, error)) {
+    std::cerr << "drs-lint: " << error << "\n";
+    return 2;
+  }
+  std::vector<drslint::SourceFile> files;
+  if (!drslint::load_tree(root, config, files, error)) {
+    std::cerr << "drs-lint: " << error << "\n";
+    return 2;
+  }
+  const std::vector<drslint::Finding> findings = drslint::run_rules(config, files);
+
+  // Human diagnostics go to stderr when the JSON report owns stdout.
+  std::ostream& diag = json ? std::cerr : std::cout;
+  std::size_t unsuppressed = 0;
+  for (const auto& f : findings) {
+    if (f.suppressed) continue;
+    ++unsuppressed;
+    if (!quiet) {
+      diag << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message
+           << "\n";
+    }
+  }
+  if (!quiet) {
+    diag << "drs-lint: " << files.size() << " files, " << findings.size()
+         << " findings (" << findings.size() - unsuppressed << " suppressed, "
+         << unsuppressed << " unsuppressed)\n";
+  }
+
+  if (json || !json_out.empty()) {
+    const std::string report = to_json(root, config_path, files.size(), findings);
+    if (json) std::cout << report << "\n";
+    if (!json_out.empty()) {
+      std::ofstream out(json_out);
+      if (!out) {
+        std::cerr << "drs-lint: cannot write " << json_out << "\n";
+        return 2;
+      }
+      out << report << "\n";
+    }
+  }
+  return unsuppressed == 0 ? 0 : 1;
+}

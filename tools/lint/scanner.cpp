@@ -1,0 +1,460 @@
+// Lexer-lite scanning: comment/literal stripping, suppression-comment and
+// include extraction, config parsing, and the deterministic tree walk.
+#include "lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <sstream>
+
+namespace fs = std::filesystem;
+
+namespace drslint {
+namespace {
+
+bool is_source_ext(const std::string& ext) {
+  return ext == ".hpp" || ext == ".h" || ext == ".cpp" || ext == ".cc" ||
+         ext == ".cxx";
+}
+
+bool is_header_ext(const std::string& ext) { return ext == ".hpp" || ext == ".h"; }
+
+std::string trim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  std::size_t e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+/// Splits a file's text into per-line code (comments and the contents of
+/// string/char literals blanked with spaces) and per-line comment text.
+/// Handles //, /* */, escapes, and R"delim(...)delim" raw strings.
+void strip_file(const std::string& text, std::vector<SourceLine>& lines) {
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar, kRaw };
+  State state = State::kCode;
+  std::string raw_delim;  // for kRaw: the ")delim\"" terminator
+  SourceLine current;
+  std::size_t i = 0;
+  const std::size_t n = text.size();
+  auto flush_line = [&]() {
+    lines.push_back(current);
+    current = SourceLine{};
+  };
+  while (i < n) {
+    const char c = text[i];
+    if (c == '\n') {
+      // Line comments end at the newline; block comments and raw strings
+      // continue, everything else is per-line.
+      if (state == State::kLineComment) state = State::kCode;
+      flush_line();
+      ++i;
+      continue;
+    }
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+          state = State::kLineComment;
+          i += 2;
+        } else if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+          state = State::kBlockComment;
+          current.code += "  ";
+          i += 2;
+        } else if (c == '"' &&
+                   (i == 0 || text[i - 1] != 'R')) {
+          state = State::kString;
+          current.code += '"';
+          ++i;
+        } else if (c == '"' && i > 0 && text[i - 1] == 'R') {
+          // R"delim( ... )delim"
+          std::size_t paren = text.find('(', i + 1);
+          if (paren == std::string::npos) {  // malformed; treat as plain
+            state = State::kString;
+            current.code += '"';
+            ++i;
+          } else {
+            raw_delim = ")" + text.substr(i + 1, paren - i - 1) + "\"";
+            state = State::kRaw;
+            current.code += '"';
+            i = paren + 1;
+          }
+        } else if (c == '\'') {
+          state = State::kChar;
+          current.code += '\'';
+          ++i;
+        } else {
+          current.code += c;
+          ++i;
+        }
+        break;
+      case State::kLineComment:
+        current.comment += c;
+        ++i;
+        break;
+      case State::kBlockComment:
+        if (c == '*' && i + 1 < n && text[i + 1] == '/') {
+          state = State::kCode;
+          i += 2;
+        } else {
+          current.comment += c;
+          ++i;
+        }
+        break;
+      case State::kString:
+      case State::kChar: {
+        const char quote = state == State::kString ? '"' : '\'';
+        if (c == '\\' && i + 1 < n) {
+          current.code += "  ";
+          i += 2;
+        } else if (c == quote) {
+          current.code += quote;
+          state = State::kCode;
+          ++i;
+        } else {
+          current.code += ' ';
+          ++i;
+        }
+        break;
+      }
+      case State::kRaw:
+        if (text.compare(i, raw_delim.size(), raw_delim) == 0) {
+          current.code += '"';
+          state = State::kCode;
+          i += raw_delim.size();
+        } else {
+          current.code += ' ';
+          ++i;
+        }
+        break;
+    }
+  }
+  flush_line();
+}
+
+/// Parses `drs-lint:` suppression comments. Grammar per comment:
+///   drs-lint: <rule>-ok(<non-empty reason>)
+/// A suppression on a line with code covers that line; on a comment-only
+/// line it covers the next line carrying code.
+void extract_suppressions(SourceFile& file) {
+  for (std::size_t li = 0; li < file.lines.size(); ++li) {
+    const std::string& comment = file.lines[li].comment;
+    std::size_t marker = comment.find("drs-lint:");
+    if (marker == std::string::npos) continue;
+    const int line_no = static_cast<int>(li) + 1;
+    std::string rest = trim(comment.substr(marker + 9));
+    // <rule>-ok(<reason>)
+    std::size_t ok = rest.find("-ok(");
+    std::size_t close = rest.rfind(')');
+    if (ok == std::string::npos || close == std::string::npos || close < ok) {
+      file.bad_suppressions.emplace_back(
+          line_no, "malformed suppression; expected 'drs-lint: <rule>-ok(<reason>)'");
+      continue;
+    }
+    const std::string rule = trim(rest.substr(0, ok));
+    const std::string reason = trim(rest.substr(ok + 4, close - ok - 4));
+    if (!is_known_rule(rule)) {
+      file.bad_suppressions.emplace_back(line_no,
+                                         "unknown rule '" + rule + "' in suppression");
+      continue;
+    }
+    if (reason.empty()) {
+      file.bad_suppressions.emplace_back(
+          line_no, "suppression for '" + rule + "' needs a non-empty reason");
+      continue;
+    }
+    Suppression s;
+    s.rule = rule;
+    s.reason = reason;
+    s.comment_line = line_no;
+    s.target_line = line_no;
+    if (trim(file.lines[li].code).empty()) {
+      for (std::size_t j = li + 1; j < file.lines.size(); ++j) {
+        if (!trim(file.lines[j].code).empty()) {
+          s.target_line = static_cast<int>(j) + 1;
+          break;
+        }
+      }
+    }
+    file.suppressions.push_back(s);
+  }
+}
+
+void extract_includes(SourceFile& file) {
+  for (std::size_t li = 0; li < file.lines.size(); ++li) {
+    // Literal contents are blanked in `code`, so the include path must come
+    // from the raw text; `code` still gates on the directive shape.
+    if (trim(file.lines[li].code).rfind('#', 0) != 0) continue;
+    const std::string& raw = file.lines[li].raw;
+    std::size_t inc = raw.find("include");
+    if (inc == std::string::npos) continue;
+    std::size_t open = raw.find('"', inc);
+    if (open == std::string::npos) continue;  // <...> system include
+    std::size_t close = raw.find('"', open + 1);
+    if (close == std::string::npos) continue;
+    IncludeEdge edge;
+    edge.line = static_cast<int>(li) + 1;
+    edge.target = raw.substr(open + 1, close - open - 1);  // resolved later
+    file.includes.push_back(edge);
+  }
+}
+
+/// Lexically normalizes "a/b/../c" and "a/./c" without touching the disk.
+std::string normalize(const std::string& path) {
+  std::vector<std::string> parts;
+  std::stringstream ss(path);
+  std::string part;
+  while (std::getline(ss, part, '/')) {
+    if (part.empty() || part == ".") continue;
+    if (part == ".." && !parts.empty() && parts.back() != "..") {
+      parts.pop_back();
+    } else {
+      parts.push_back(part);
+    }
+  }
+  std::string out;
+  for (const auto& p : parts) {
+    if (!out.empty()) out += '/';
+    out += p;
+  }
+  return out;
+}
+
+std::string dirname_of(const std::string& path) {
+  std::size_t slash = path.rfind('/');
+  return slash == std::string::npos ? "" : path.substr(0, slash);
+}
+
+bool module_dag_is_acyclic(const Config& config, std::string& cycle_at) {
+  // 0 = unvisited, 1 = on stack, 2 = done.
+  std::map<std::string, int> color;
+  std::function<bool(const std::string&)> dfs = [&](const std::string& m) {
+    color[m] = 1;
+    auto it = config.modules.find(m);
+    if (it != config.modules.end()) {
+      for (const auto& dep : it->second.deps) {
+        if (color[dep] == 1) {
+          cycle_at = m + " -> " + dep;
+          return false;
+        }
+        if (color[dep] == 0 && !dfs(dep)) return false;
+      }
+    }
+    color[m] = 2;
+    return true;
+  };
+  for (const auto& [name, rule] : config.modules) {
+    (void)rule;
+    if (color[name] == 0 && !dfs(name)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool parse_config(const std::string& path, Config& config, std::string& error) {
+  std::ifstream in(path);
+  if (!in) {
+    error = "cannot open config file: " + path;
+    return false;
+  }
+  config.path = path;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    line = trim(line);
+    if (line.empty()) continue;
+    std::stringstream ss(line);
+    std::string directive;
+    ss >> directive;
+    auto fail = [&](const std::string& msg) {
+      error = path + ":" + std::to_string(line_no) + ": " + msg;
+      return false;
+    };
+    if (directive == "scan" || directive == "refs") {
+      std::string dir;
+      if (!(ss >> dir)) return fail(directive + " needs a directory");
+      (directive == "scan" ? config.scan_dirs : config.ref_dirs).push_back(dir);
+    } else if (directive == "module") {
+      std::string name, eq;
+      if (!(ss >> name >> eq) || eq != "=") {
+        return fail("expected 'module <name> = [deps...]'");
+      }
+      ModuleRule rule;
+      std::string dep;
+      while (ss >> dep) {
+        if (dep == "*") {
+          rule.any = true;
+        } else {
+          rule.deps.insert(dep);
+        }
+      }
+      if (!config.modules.emplace(name, rule).second) {
+        return fail("duplicate module '" + name + "'");
+      }
+    } else if (directive == "file") {
+      std::string prefix, eq, module;
+      if (!(ss >> prefix >> eq >> module) || eq != "=") {
+        return fail("expected 'file <path-prefix> = <module>'");
+      }
+      config.file_modules.emplace_back(prefix, module);
+    } else if (directive == "allow") {
+      std::string rule, prefix;
+      if (!(ss >> rule >> prefix) || rule != "banned") {
+        return fail("expected 'allow banned <path-prefix>'");
+      }
+      config.banned_allow.push_back(prefix);
+    } else if (directive == "nodiscard-module") {
+      std::string name;
+      if (!(ss >> name)) return fail("nodiscard-module needs a module name");
+      config.nodiscard_modules.insert(name);
+    } else {
+      return fail("unknown directive '" + directive + "'");
+    }
+  }
+  if (config.scan_dirs.empty()) {
+    error = path + ": config declares no 'scan' directory";
+    return false;
+  }
+  // Every referenced module must be declared, and the DAG must be acyclic.
+  for (const auto& [name, rule] : config.modules) {
+    for (const auto& dep : rule.deps) {
+      if (config.modules.find(dep) == config.modules.end()) {
+        error = path + ": module '" + name + "' depends on undeclared '" + dep + "'";
+        return false;
+      }
+    }
+  }
+  for (const auto& [prefix, module] : config.file_modules) {
+    (void)prefix;
+    if (config.modules.find(module) == config.modules.end()) {
+      error = path + ": file override names undeclared module '" + module + "'";
+      return false;
+    }
+  }
+  std::string cycle_at;
+  if (!module_dag_is_acyclic(config, cycle_at)) {
+    error = path + ": module DAG has a cycle (" + cycle_at + ")";
+    return false;
+  }
+  return true;
+}
+
+bool load_tree(const std::string& root, Config& config,
+               std::vector<SourceFile>& files, std::string& error) {
+  struct Entry {
+    std::string rel;
+    std::string scan_rel;
+    bool enforced;
+  };
+  std::vector<Entry> entries;
+  auto walk = [&](const std::string& dir, bool enforced) -> bool {
+    const fs::path base = fs::path(root) / dir;
+    if (!fs::is_directory(base)) {
+      if (!enforced) return true;  // refs trees are optional
+      error = "scan directory not found: " + base.string();
+      return false;
+    }
+    for (const auto& de : fs::recursive_directory_iterator(base)) {
+      if (!de.is_regular_file()) continue;
+      if (!is_source_ext(de.path().extension().string())) continue;
+      Entry e;
+      e.scan_rel = fs::relative(de.path(), base).generic_string();
+      e.rel = normalize(dir + "/" + e.scan_rel);
+      e.enforced = enforced;
+      entries.push_back(std::move(e));
+    }
+    return true;
+  };
+  for (const auto& dir : config.scan_dirs) {
+    if (!walk(dir, true)) return false;
+  }
+  for (const auto& dir : config.ref_dirs) {
+    if (!walk(dir, false)) return false;
+  }
+  // The directory iterator's order is filesystem-dependent; sort for a
+  // deterministic report.
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.rel < b.rel; });
+
+  for (const auto& entry : entries) {
+    std::ifstream in(fs::path(root) / entry.rel, std::ios::binary);
+    if (!in) {
+      error = "cannot read " + entry.rel;
+      return false;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    SourceFile file;
+    file.rel = entry.rel;
+    file.scan_rel = entry.enforced ? entry.scan_rel : "";
+    file.enforced = entry.enforced;
+    const std::size_t dot = entry.rel.rfind('.');
+    file.header = dot != std::string::npos && is_header_ext(entry.rel.substr(dot));
+    strip_file(text.str(), file.lines);
+    {  // attach the raw text per line (same '\n' split as strip_file)
+      std::stringstream raw(text.str());
+      std::string raw_line;
+      std::size_t li = 0;
+      while (std::getline(raw, raw_line) && li < file.lines.size()) {
+        file.lines[li++].raw = raw_line;
+      }
+    }
+    extract_suppressions(file);
+    extract_includes(file);
+    files.push_back(std::move(file));
+  }
+
+  // Assign modules to enforced files: longest matching `file` override wins,
+  // otherwise the first path segment under the scan dir.
+  for (auto& file : files) {
+    if (!file.enforced) continue;
+    std::size_t best_len = 0;
+    for (const auto& [prefix, module] : config.file_modules) {
+      if (file.scan_rel.compare(0, prefix.size(), prefix) == 0 &&
+          prefix.size() > best_len) {
+        file.module = module;
+        best_len = prefix.size();
+      }
+    }
+    if (best_len == 0) {
+      std::size_t slash = file.scan_rel.find('/');
+      if (slash != std::string::npos) {
+        const std::string dir = file.scan_rel.substr(0, slash);
+        if (config.modules.find(dir) != config.modules.end()) file.module = dir;
+      }
+    }
+  }
+
+  // Resolve quoted includes: first relative to the including file, then
+  // relative to each scan dir (the build's include roots), then to root.
+  std::set<std::string> known;
+  for (const auto& file : files) known.insert(file.rel);
+  for (auto& file : files) {
+    std::vector<IncludeEdge> resolved;
+    for (auto& edge : file.includes) {
+      std::vector<std::string> candidates;
+      const std::string dir = dirname_of(file.rel);
+      if (!dir.empty()) candidates.push_back(normalize(dir + "/" + edge.target));
+      for (const auto& scan : config.scan_dirs) {
+        candidates.push_back(normalize(scan + "/" + edge.target));
+      }
+      candidates.push_back(normalize(edge.target));
+      for (const auto& cand : candidates) {
+        if (known.count(cand)) {
+          resolved.push_back({edge.line, cand});
+          break;
+        }
+      }
+      // Unresolvable quoted includes (external paths) carry no layering
+      // information; drop them.
+    }
+    file.includes = std::move(resolved);
+  }
+  return true;
+}
+
+}  // namespace drslint
