@@ -14,8 +14,11 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <fstream>
+#include <string>
 
 #include "chaos/runner.hpp"
+#include "obs/export.hpp"
 #include "util/flags.hpp"
 #include "util/table.hpp"
 
@@ -54,6 +57,28 @@ void print_report(const chaos::ChaosReport& report) {
   std::printf("=== JSON ===\n%s\n", report.to_json().c_str());
 }
 
+// Re-runs one campaign with trace capture on and writes its Chrome-trace
+// JSON (open with chrome://tracing or https://ui.perfetto.dev). The re-run is
+// bit-identical to the fanned-out campaign — campaigns are pure functions of
+// (seed, index, config) and capture does not perturb the simulation.
+bool write_chrome_trace(const chaos::ChaosOptions& options,
+                        std::uint64_t campaign, const std::string& path) {
+  chaos::CampaignConfig config = options.campaign;
+  config.capture_trace = true;
+  const chaos::CampaignResult result =
+      chaos::run_campaign(options.seed, campaign, config);
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "cannot open --trace-out path: %s\n", path.c_str());
+    return false;
+  }
+  out << obs::to_chrome_trace_json(result.trace);
+  std::printf("wrote Chrome trace for campaign %llu (%zu events) to %s\n",
+              static_cast<unsigned long long>(campaign), result.trace.size(),
+              path.c_str());
+  return true;
+}
+
 void BM_Campaign(benchmark::State& state) {
   chaos::CampaignConfig config;
   config.schedule.node_count = static_cast<std::uint16_t>(state.range(0));
@@ -88,12 +113,22 @@ int main(int argc, char** argv) {
        {"events", "churn actions per campaign (default 10)"},
        {"max-failures", "max concurrently-failed components (default 3)"},
        {"cripple", "disable failure detection: invariants MUST fire"},
+       {"trace-out", "write one campaign's Chrome-trace JSON to this path"},
+       {"trace-campaign", "campaign index for --trace-out (default: first)"},
        {"timing", "also run google-benchmark timing kernels"}});
   if (!flags) return 1;
   if (flags->help_requested()) return 0;
 
-  const chaos::ChaosReport report = run_chaos(options_from_flags(*flags));
+  const chaos::ChaosOptions options = options_from_flags(*flags);
+  const chaos::ChaosReport report = run_chaos(options);
   print_report(report);
+
+  const std::string trace_out = flags->get_string("trace-out", "");
+  if (!trace_out.empty()) {
+    const auto campaign = static_cast<std::uint64_t>(flags->get_int(
+        "trace-campaign", static_cast<std::int64_t>(options.first_campaign)));
+    if (!write_chrome_trace(options, campaign, trace_out)) return 1;
+  }
 
   if (flags->get_bool("timing")) {
     int bench_argc = 1;

@@ -49,8 +49,14 @@ int main(int argc, char** argv) {
       const auto estimate = mc::estimate_p_success(n, failures, options);
       row.push_back(util::format_double(estimate.p, 6));
       row.push_back(util::format_double(std::abs(estimate.p - exact), 6));
-      row.push_back("[" + util::format_double(estimate.wilson95.lo, 4) + ", " +
-                    util::format_double(estimate.wilson95.hi, 4) + "]");
+      // Built up with += (not operator+ chaining): GCC 12's -Wrestrict trips
+      // a false positive on the inlined `const char* + std::string&&` form.
+      std::string interval = "[";
+      interval += util::format_double(estimate.wilson95.lo, 4);
+      interval += ", ";
+      interval += util::format_double(estimate.wilson95.hi, 4);
+      interval += "]";
+      row.push_back(std::move(interval));
     }
     table.add_row(std::move(row));
   }

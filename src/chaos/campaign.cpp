@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "net/failure.hpp"
+#include "obs/tracer.hpp"
 
 namespace drs::chaos {
 
@@ -28,6 +29,10 @@ CampaignResult run_campaign(std::uint64_t seed, std::uint64_t campaign,
   if (config.cripple_detection) drs.failures_to_down = 1u << 30;
 
   sim::Simulator sim;
+  // Attached before the system so the daemons latch it at start(); the
+  // tracer is what failover latency is measured from, so it is always on.
+  obs::Tracer tracer(config.trace_capacity);
+  sim.set_tracer(&tracer);
   net::ClusterNetwork network(
       sim, {.node_count = config.schedule.node_count, .backplane = {}});
   core::DrsSystem system(network, drs);
@@ -70,7 +75,19 @@ CampaignResult run_campaign(std::uint64_t seed, std::uint64_t campaign,
       }
       if (disrupted) {
         if (recovered) {
-          result.failover_latencies_ms.push_back((sim.now() - t).to_millis());
+          // The protocol is judged from its first chance to notice: the
+          // earliest post-injection missed monitoring probe in the trace.
+          // (The violation deadline above stays anchored at injection — the
+          // repair bound already budgets the detection window.)
+          const obs::FailoverTimeline timeline =
+              obs::reconstruct_failover(tracer, t.ns(), sim.now().ns());
+          const util::SimTime detected =
+              timeline.detected() ? util::SimTime::from_ns(timeline.detected_at_ns)
+                                  : t;
+          result.detection_delays_ms.push_back((detected - t).to_millis());
+          result.failover_latencies_ms.push_back(
+              (sim.now() - detected).to_millis());
+          result.timelines.push_back(timeline);
         } else {
           result.violations.push_back(Violation{
               kInvariantFailoverLatency, sim.now(),
@@ -99,6 +116,7 @@ CampaignResult run_campaign(std::uint64_t seed, std::uint64_t campaign,
   result.checks += checker.check_no_routing_cycle(result.violations);
 
   system.stop();
+  if (config.capture_trace) result.trace = tracer.events();
   result.actions_applied = injector.log().size();
   result.sim_events = sim.executed_events();
   result.sim_seconds = sim.now().to_seconds();

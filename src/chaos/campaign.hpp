@@ -13,6 +13,8 @@
 #include "chaos/invariants.hpp"
 #include "chaos/schedule.hpp"
 #include "core/config.hpp"
+#include "obs/event.hpp"
+#include "obs/timeline.hpp"
 
 namespace drs::chaos {
 
@@ -35,6 +37,13 @@ struct CampaignConfig {
   util::Duration echo_timeout = util::Duration::millis(25);
   /// Clock step between reachability polls when measuring failover latency.
   util::Duration latency_probe_step = util::Duration::millis(10);
+  /// Ring capacity of the per-campaign tracer. A tracer is always attached:
+  /// failover latency is measured from the trace's first post-injection
+  /// probe loss, not from schedule-injection time.
+  std::size_t trace_capacity = std::size_t{1} << 15;
+  /// Retain the full event trace in CampaignResult (golden-trace tests and
+  /// the bench's Chrome-trace export); off by default to keep fan-outs lean.
+  bool capture_trace = false;
 };
 
 struct CampaignResult {
@@ -43,8 +52,16 @@ struct CampaignResult {
   /// Individual invariant evaluations performed (pairs echoed, walks, ...).
   std::uint64_t checks = 0;
   std::vector<Violation> violations;
-  /// Reachability-restoration time after each disruptive failure, ms.
+  /// Failover latency per disruptive failure, ms: from the daemons' first
+  /// missed-probe detection (trace kProbeLost) to restored reachability.
   std::vector<double> failover_latencies_ms;
+  /// Injection-to-detection delay per disruptive failure, ms (0 when the
+  /// trace shows no detection — then the latency above starts at injection).
+  std::vector<double> detection_delays_ms;
+  /// Reconstructed per-failure timelines, same order as the latencies.
+  std::vector<obs::FailoverTimeline> timelines;
+  /// The retained event trace (capture_trace only), oldest first.
+  std::vector<obs::TraceEvent> trace;
   /// Simulator events executed and simulated span — cost accounting.
   std::uint64_t sim_events = 0;
   double sim_seconds = 0.0;

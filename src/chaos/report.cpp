@@ -35,6 +35,11 @@ std::string ChaosReport::to_json() const {
     json.field(key, latency_quantile_values[i]);
   }
   json.end_object();
+  json.key("detection_delay_ms").begin_object();
+  json.field("samples", static_cast<std::uint64_t>(detection_ms.count()))
+      .field("mean", detection_ms.mean())
+      .field("max", detection_ms.count() ? detection_ms.max() : 0.0)
+      .end_object();
   json.key("latency_histogram").begin_array();
   for (std::size_t b = 0; b < latency_histogram.bucket_count(); ++b) {
     if (latency_histogram.bucket(b) == 0) continue;
@@ -94,6 +99,13 @@ std::string ChaosReport::summary() const {
                   latency_ms.count(), latency_ms.mean(),
                   latency_quantile_values[0], latency_quantile_values[1],
                   latency_quantile_values[2], latency_ms.max());
+    out += buf;
+  }
+  if (detection_ms.count() > 0) {
+    std::snprintf(buf, sizeof buf,
+                  "  detection delay (ms): n=%zu mean=%.1f max=%.1f\n",
+                  detection_ms.count(), detection_ms.mean(),
+                  detection_ms.max());
     out += buf;
   }
   for (const ReportedViolation& sample : sample_violations) {

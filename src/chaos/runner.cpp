@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/export.hpp"
 #include "util/parallel.hpp"
 
 namespace drs::chaos {
@@ -13,10 +14,12 @@ ChaosReport run_chaos(const ChaosOptions& options) {
   if (const auto error = options.campaign.drs.validate()) {
     throw std::invalid_argument("chaos campaign DrsConfig: " + *error);
   }
+  CampaignConfig campaign_config = options.campaign;
+  if (options.capture_traces) campaign_config.capture_trace = true;
   const std::vector<CampaignResult> results = util::run_indexed_jobs(
       options.campaigns, options.threads, [&](std::uint64_t i) {
         return run_campaign(options.seed, options.first_campaign + i,
-                            options.campaign);
+                            campaign_config);
       });
 
   ChaosReport report;
@@ -49,6 +52,12 @@ ChaosReport run_chaos(const ChaosOptions& options) {
     for (const double ms : result.failover_latencies_ms) {
       report.latency_ms.add(ms);
       report.latency_histogram.add(ms);
+    }
+    for (const double ms : result.detection_delays_ms) {
+      report.detection_ms.add(ms);
+    }
+    if (options.capture_traces) {
+      report.campaign_traces.push_back(obs::to_canonical_json(result.trace));
     }
   }
   for (const double q : report.latency_quantiles) {

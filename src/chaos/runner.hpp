@@ -29,6 +29,10 @@ struct ChaosOptions {
   /// Cap on fully-detailed violations retained in the report (counts are
   /// always exact; details are evidence for the first offenders).
   std::size_t max_recorded_violations = 32;
+  /// Export every campaign's canonical-JSON trace into
+  /// ChaosReport::campaign_traces (campaign order, thread-count invariant).
+  /// Off by default: a full fan-out would retain megabytes.
+  bool capture_traces = false;
 };
 
 /// One retained violation with its campaign coordinate.
@@ -52,8 +56,12 @@ struct ChaosReport {
   /// Exact violation counts keyed by invariant name (all four keys present).
   std::map<std::string, std::uint64_t> violations_by_invariant;
 
-  /// Failover-latency distribution across every disruptive failure.
+  /// Failover-latency distribution across every disruptive failure,
+  /// measured from the trace's first post-injection probe-loss detection
+  /// (not from schedule-injection time) to restored reachability.
   util::RunningStats latency_ms;
+  /// Injection-to-detection delays backing the correction above.
+  util::RunningStats detection_ms;
   std::vector<double> latency_quantiles{0.5, 0.9, 0.99};  // probed q values
   std::vector<double> latency_quantile_values;            // same order
   util::Histogram latency_histogram{0.0, 500.0, 25};
@@ -63,6 +71,11 @@ struct ChaosReport {
   double sim_seconds = 0.0;
 
   std::vector<ReportedViolation> sample_violations;
+
+  /// Canonical-JSON trace per campaign (ChaosOptions::capture_traces only),
+  /// in campaign order. Deliberately excluded from to_json() — traces are
+  /// artifacts, not report fields.
+  std::vector<std::string> campaign_traces;
 
   bool clean() const { return total_violations == 0; }
 

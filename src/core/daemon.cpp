@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "obs/macros.hpp"
 #include "util/log.hpp"
 
 namespace drs::core {
@@ -41,6 +42,9 @@ DrsDaemon::~DrsDaemon() { stop(); }
 
 void DrsDaemon::start() {
   if (cycle_timer_.running()) return;
+  // Latch the simulator's trace sink (the harness attaches it before
+  // starting the system); the link-state machine emits transitions itself.
+  links_.set_tracer(host_.simulator().tracer());
   cycle_timer_.start();
 }
 
@@ -212,6 +216,12 @@ void DrsDaemon::on_probe_result(NodeId peer, NetworkId network,
     update_rtt(network, result.rtt);
   } else {
     ++metrics_.probes_failed;
+    // The daemon-level detection signal the failover timelines are built
+    // from (raw kPingLost also fires, but covers non-monitoring echoes too).
+    DRS_TRACE_EVENT(host_.simulator().tracer(),
+                    .at_ns = host_.simulator().now().ns(),
+                    .kind = obs::TraceEventKind::kProbeLost, .node = self(),
+                    .peer = peer, .network = network, .a = result.seq);
   }
   const bool verdict_changed =
       links_.record_probe(peer, network, success, host_.simulator().now());
@@ -276,7 +286,8 @@ void DrsDaemon::set_mode(NodeId peer, PeerRouteMode mode, NodeId relay,
       state.relay_network == relay_network) {
     return;
   }
-  if (state.mode == PeerRouteMode::kRelay && mode != PeerRouteMode::kRelay) {
+  const PeerRouteMode previous = state.mode;
+  if (previous == PeerRouteMode::kRelay && mode != PeerRouteMode::kRelay) {
     // Leaving relay mode for any reason: release the lease early
     // (best-effort — it would expire on its own if this is lost).
     send_control(DrsMessageType::kRouteTeardown, peer, state.request_id,
@@ -284,10 +295,30 @@ void DrsDaemon::set_mode(NodeId peer, PeerRouteMode mode, NodeId relay,
                  net::cluster_ip(state.relay_network, state.relay));
   }
   metrics_.route_changes.push_back(RouteChange{host_.simulator().now(), peer,
-                                               state.mode, mode, relay});
+                                               previous, mode, relay});
   state.mode = mode;
   state.relay = relay;
   state.relay_network = relay_network;
+  // Detour episodes in the trace: leaving direct = install, returning =
+  // teardown, anything else while away = switch. Install/teardown strictly
+  // alternate per (node, peer) — the property obs::audit_detours checks.
+  const std::int64_t now_ns = host_.simulator().now().ns();
+  if (previous == PeerRouteMode::kDirect) {
+    DRS_TRACE_EVENT(host_.simulator().tracer(), .at_ns = now_ns,
+                    .kind = obs::TraceEventKind::kDetourInstall, .node = self(),
+                    .peer = peer, .a = static_cast<std::int64_t>(mode),
+                    .b = relay);
+  } else if (mode == PeerRouteMode::kDirect) {
+    DRS_TRACE_EVENT(host_.simulator().tracer(), .at_ns = now_ns,
+                    .kind = obs::TraceEventKind::kDetourTeardown,
+                    .node = self(), .peer = peer,
+                    .a = static_cast<std::int64_t>(previous));
+  } else {
+    DRS_TRACE_EVENT(host_.simulator().tracer(), .at_ns = now_ns,
+                    .kind = obs::TraceEventKind::kDetourSwitch, .node = self(),
+                    .peer = peer, .a = static_cast<std::int64_t>(mode),
+                    .b = relay);
+  }
   if (mode != PeerRouteMode::kUnreachable && state.discovering) {
     state.discover_timer.cancel();
     state.discovering = false;
@@ -306,6 +337,10 @@ void DrsDaemon::start_discovery(NodeId peer, bool for_standby) {
   state.request_id =
       (static_cast<std::uint64_t>(self()) << 32) | next_request_seq_++;
   ++metrics_.discoveries_started;
+  DRS_TRACE_EVENT(host_.simulator().tracer(),
+                  .at_ns = host_.simulator().now().ns(),
+                  .kind = obs::TraceEventKind::kDiscoveryStart, .node = self(),
+                  .peer = peer, .a = for_standby ? 1 : 0);
   DRS_INFO("drs", "node %u: discovering relay for peer %u", self(), peer);
   broadcast_control(DrsMessageType::kRouteDiscover, peer, state.request_id);
   state.discover_timer = host_.simulator().schedule_after(
@@ -340,6 +375,10 @@ void DrsDaemon::finish_discovery(NodeId peer) {
     return;
   }
   ++metrics_.relays_selected;
+  DRS_TRACE_EVENT(host_.simulator().tracer(),
+                  .at_ns = host_.simulator().now().ns(),
+                  .kind = obs::TraceEventKind::kRelaySelected, .node = self(),
+                  .peer = peer, .network = offer.network, .a = offer.relay);
   DRS_INFO("drs", "node %u: relay %u (net %u) selected for peer %u", self(),
            offer.relay, offer.network, peer);
   set_mode(peer, PeerRouteMode::kRelay, offer.relay, offer.network);
@@ -392,6 +431,10 @@ void DrsDaemon::sweep_leases() {
   for (auto it = leases_.begin(); it != leases_.end();) {
     if (it->second.expires < now) {
       ++metrics_.leases_expired;
+      DRS_TRACE_EVENT(host_.simulator().tracer(), .at_ns = now.ns(),
+                      .kind = obs::TraceEventKind::kLeaseExpired,
+                      .node = self(), .peer = it->first.target,
+                      .a = it->first.requester);
       it = leases_.erase(it);
       changed = true;
     } else {
@@ -632,6 +675,10 @@ void DrsDaemon::handle_route_set(const DrsControlPayload& msg,
     return;
   }
   ++metrics_.route_sets_honored;
+  DRS_TRACE_EVENT(host_.simulator().tracer(),
+                  .at_ns = host_.simulator().now().ns(),
+                  .kind = obs::TraceEventKind::kLeaseGranted, .node = self(),
+                  .peer = msg.target, .a = msg.requester);
   leases_[LeaseKey{msg.requester, msg.target}] =
       Lease{host_.simulator().now() + config_.relay_route_lifetime};
   sync_routes();

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "obs/macros.hpp"
+
 namespace drs::core {
 
 const char* to_string(LinkState s) {
@@ -83,6 +85,11 @@ bool LinkStateTable::record_probe(net::NodeId peer, net::NetworkId network,
   }
   if (e.state != before) {
     history_.push_back(LinkTransition{now, peer, network, before, e.state});
+    DRS_TRACE_EVENT(tracer_, .at_ns = now.ns(),
+                    .kind = obs::TraceEventKind::kLinkChange, .node = self_,
+                    .peer = peer, .network = network,
+                    .a = static_cast<std::int64_t>(before),
+                    .b = static_cast<std::int64_t>(e.state));
   }
   // Verdict change = crossing the UP/DOWN boundary in either direction.
   const bool was_down = before == LinkState::kDown;

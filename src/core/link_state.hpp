@@ -16,6 +16,10 @@
 #include "net/addr.hpp"
 #include "util/time.hpp"
 
+namespace drs::obs {
+class Tracer;
+}
+
 namespace drs::core {
 
 enum class LinkState : std::uint8_t { kUp, kSuspect, kDown };
@@ -70,6 +74,11 @@ class LinkStateTable {
   /// Total hold periods imposed so far.
   std::uint64_t suppressions() const { return suppressions_; }
 
+  /// Observability: every state-machine transition is emitted as a
+  /// kLinkChange trace event. The owning daemon latches its simulator's
+  /// tracer here at start(); nullptr (the default) emits nothing.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
  private:
   struct Entry {
     LinkState state = LinkState::kUp;
@@ -87,6 +96,7 @@ class LinkStateTable {
   std::vector<Entry> entries_;  // [peer * 2 + network]
   std::vector<LinkTransition> history_;
   std::uint64_t suppressions_ = 0;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace drs::core

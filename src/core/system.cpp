@@ -1,5 +1,6 @@
 #include "core/system.hpp"
 
+#include <map>
 #include <stdexcept>
 
 namespace drs::core {
@@ -83,6 +84,70 @@ bool DrsSystem::test_reachability(net::NodeId a, net::NodeId b,
 
 void DrsSystem::settle(util::Duration warmup) {
   network_.simulator().run_for(warmup);
+}
+
+void DrsSystem::collect_metrics(obs::MetricRegistry& registry) const {
+  const std::uint16_t n = network_.node_count();
+  // Integer-millisecond downtime distribution across every (node, peer,
+  // network) link, folded from the link-state histories.
+  obs::IntHistogram& downtime = registry.histogram(
+      "system.link_downtime_ms",
+      {1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000});
+  registry.gauge("system.nodes").set(n);
+
+  for (net::NodeId i = 0; i < n; ++i) {
+    const DaemonMetrics& m = daemons_.at(i)->metrics();
+    const auto set = [&](const char* name, std::uint64_t value) {
+      registry.counter(obs::MetricRegistry::scoped("daemon", i, name))
+          .add(static_cast<std::int64_t>(value));
+    };
+    set("probes_sent", m.probes_sent);
+    set("probes_failed", m.probes_failed);
+    set("links_declared_down", m.links_declared_down);
+    set("links_declared_up", m.links_declared_up);
+    set("discoveries_started", m.discoveries_started);
+    set("offers_sent", m.offers_sent);
+    set("offers_received", m.offers_received);
+    set("relays_selected", m.relays_selected);
+    set("standby_activations", m.standby_activations);
+    set("route_sets_honored", m.route_sets_honored);
+    set("route_installs", m.route_installs);
+    set("route_removals", m.route_removals);
+    set("control_messages_sent", m.control_messages_sent);
+    set("leases_expired", m.leases_expired);
+    set("route_changes", m.route_changes.size());
+    set("echoes_answered", icmp_.at(i)->echo_requests_answered());
+
+    // Down episodes: DOWN verdict until the matching recovery, per link.
+    std::map<std::uint32_t, util::SimTime> down_since;
+    for (const LinkTransition& t : daemons_.at(i)->links().history()) {
+      const std::uint32_t link_key =
+          (static_cast<std::uint32_t>(t.peer) << 8) | t.network;
+      if (t.to == LinkState::kDown) {
+        down_since.emplace(link_key, t.at);
+      } else if (t.from == LinkState::kDown) {
+        const auto it = down_since.find(link_key);
+        if (it != down_since.end()) {
+          downtime.add((t.at - it->second).ns() / 1'000'000);
+          down_since.erase(it);
+        }
+      }
+    }
+  }
+
+  for (net::NetworkId k = 0; k < net::kNetworksPerHost; ++k) {
+    const net::Backplane::Counters& c = network_.backplane(k).counters();
+    const auto set = [&](const char* name, std::uint64_t value) {
+      registry.counter(obs::MetricRegistry::scoped("backplane", k, name))
+          .add(static_cast<std::int64_t>(value));
+    };
+    set("frames", c.frames);
+    set("bytes", c.bytes);
+    set("dropped_failed", c.dropped_failed);
+    set("dropped_backlog", c.dropped_backlog);
+    set("lost_in_flight", c.lost_in_flight);
+    set("lost_random", c.lost_random);
+  }
 }
 
 }  // namespace drs::core

@@ -8,6 +8,7 @@
 
 #include "core/daemon.hpp"
 #include "net/network.hpp"
+#include "obs/metrics.hpp"
 
 namespace drs::core {
 
@@ -47,10 +48,29 @@ class DrsSystem {
   /// full monitoring cycle and converges on the current failure pattern.
   void settle(util::Duration warmup);
 
+  /// Snapshots every daemon/backplane/ICMP counter into `registry` under the
+  /// obs naming convention ("daemon.<i>.probes_sent", "backplane.<k>.frames",
+  /// ...), plus the "system.link_downtime_ms" histogram folded from the
+  /// link-state histories. Pure read; integer-only by construction.
+  void collect_metrics(obs::MetricRegistry& registry) const;
+
  private:
   net::ClusterNetwork& network_;
   std::vector<std::unique_ptr<proto::IcmpService>> icmp_;
   std::vector<std::unique_ptr<DrsDaemon>> daemons_;
 };
+
+/// Compile-out wrapper around DrsSystem::collect_metrics: in a translation
+/// unit built with -DDRS_OBS_DISABLED this is a no-op and `registry` stays
+/// empty, matching DRS_TRACE_EVENT's behavior (see obs/macros.hpp).
+inline void snapshot_metrics(const DrsSystem& system,
+                             obs::MetricRegistry& registry) {
+#ifndef DRS_OBS_DISABLED
+  system.collect_metrics(registry);
+#else
+  (void)system;
+  (void)registry;
+#endif
+}
 
 }  // namespace drs::core

@@ -28,6 +28,15 @@
 #include "util/table.hpp"
 #include "util/time.hpp"
 
+// Deterministic observability: sim-time event traces, integer metric
+// registries, failover timelines, Chrome-trace / canonical-JSON export.
+#include "obs/event.hpp"
+#include "obs/export.hpp"
+#include "obs/macros.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
+#include "obs/tracer.hpp"
+
 // Deterministic discrete-event simulation.
 #include "sim/event_queue.hpp"
 #include "sim/simulator.hpp"

@@ -235,6 +235,17 @@ std::string ExperimentResult::to_json() const {
   return json.str();
 }
 
+namespace {
+
+// Observability snapshots ride along in outputs (and in to_json / cached
+// payloads) but are JSON blobs, not tabular values — rendering them would
+// wreck every printed table and the golden figure tables with it.
+bool metrics_column(const std::string& name) {
+  return name == "metrics" || name.rfind("metric.", 0) == 0;
+}
+
+}  // namespace
+
 util::Table ExperimentResult::to_table() const {
   std::vector<std::string> headers;
   if (!cells.empty()) {
@@ -244,6 +255,7 @@ util::Table ExperimentResult::to_table() const {
   }
   if (!results.empty()) {
     for (const auto& [name, value] : results.front().outputs) {
+      if (metrics_column(name)) continue;
       headers.push_back(name);
     }
   }
@@ -255,6 +267,7 @@ util::Table ExperimentResult::to_table() const {
       row.push_back(display_value(value));
     }
     for (const auto& [name, value] : results[i].outputs) {
+      if (metrics_column(name)) continue;
       row.push_back(display_value(value));
     }
     table.add_row(std::move(row));

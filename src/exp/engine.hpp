@@ -76,7 +76,9 @@ struct ExperimentResult {
   [[nodiscard]] std::string to_json() const;
 
   /// Parameter columns then output columns, one row per cell — the same
-  /// util::Table the figure benches print.
+  /// util::Table the figure benches print. Outputs named "metrics" (or
+  /// prefixed "metric.") are observability snapshots: present in to_json()
+  /// and cached payloads, omitted from tables.
   [[nodiscard]] util::Table to_table() const;
 };
 

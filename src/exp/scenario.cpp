@@ -11,6 +11,7 @@
 #include "montecarlo/estimator.hpp"
 #include "montecarlo/packet_validation.hpp"
 #include "net/failure.hpp"
+#include "obs/metrics.hpp"
 
 namespace drs::exp {
 
@@ -180,7 +181,11 @@ Outputs run_ablation_spread(const ScenarioContext& ctx) {
   }
   const double util_a = network.backplane(net::kNetworkA).busy_seconds() /
                         horizon.to_seconds();
-  return {{"probes_failed", failed}, {"util_a", util_a}};
+  obs::MetricRegistry metrics;
+  core::snapshot_metrics(system, metrics);
+  return {{"probes_failed", failed},
+          {"util_a", util_a},
+          {"metrics", metrics.to_json()}};
 }
 
 Outputs run_ablation_warm_standby(const ScenarioContext& ctx) {
@@ -213,9 +218,12 @@ Outputs run_ablation_warm_standby(const ScenarioContext& ctx) {
     }
   }
   const bool reachable = system.test_reachability(0, 1);
+  obs::MetricRegistry metrics;
+  core::snapshot_metrics(system, metrics);
   return {{"relay_after_down_ns", (relay_at - down_verdict).ns()},
           {"outage_ns", (relay_at - injected).ns()},
-          {"reachable", reachable}};
+          {"reachable", reachable},
+          {"metrics", metrics.to_json()}};
 }
 
 Outputs run_ablation_detector(const ScenarioContext& ctx) {
@@ -245,6 +253,7 @@ Outputs run_ablation_detector(const ScenarioContext& ctx) {
   }
   // Phase 2: clean medium, one real failure — measure detection latency.
   Duration latency = Duration::zero();
+  obs::MetricRegistry metrics;
   {
     sim::Simulator sim;
     net::ClusterNetwork network(sim, {.node_count = n, .backplane = {}});
@@ -261,9 +270,11 @@ Outputs run_ablation_detector(const ScenarioContext& ctx) {
         break;
       }
     }
+    core::snapshot_metrics(system, metrics);
   }
   return {{"false_failovers", false_failovers},
-          {"detection_ns", latency.ns()}};
+          {"detection_ns", latency.ns()},
+          {"metrics", metrics.to_json()}};
 }
 
 std::vector<Scenario> build_registry() {
@@ -347,21 +358,21 @@ std::vector<Scenario> build_registry() {
        .uses_config = true,
        .run = run_ablation_packet_agreement});
   add({.family = "ablation_spread",
-       .version = "v1",
+       .version = "v2",  // v2: obs metrics snapshot in outputs
        .help = "Probe spreading on/off: failed probes and medium "
                "utilization under a deliberately tight interval",
        .required = {"spread"},
        .uses_config = true,
        .run = run_ablation_spread});
   add({.family = "ablation_warm_standby",
-       .version = "v1",
+       .version = "v2",  // v2: obs metrics snapshot in outputs
        .help = "Warm-standby relays: delay from DOWN verdict to relay mode "
                "on the second cross-split failure",
        .required = {"warm"},
        .uses_config = true,
        .run = run_ablation_warm_standby});
   add({.family = "ablation_detector",
-       .version = "v1",
+       .version = "v2",  // v2: obs metrics snapshot in outputs
        .help = "failures_to_down tuning: false failovers under frame loss "
                "vs detection latency on a clean medium",
        .required = {"threshold"},

@@ -1,0 +1,25 @@
+#include "obs/event.hpp"
+
+namespace drs::obs {
+
+const char* to_string(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kPingSent: return "ping_sent";
+    case TraceEventKind::kPingLost: return "ping_lost";
+    case TraceEventKind::kProbeLost: return "probe_lost";
+    case TraceEventKind::kLinkChange: return "link_change";
+    case TraceEventKind::kDetourInstall: return "detour_install";
+    case TraceEventKind::kDetourSwitch: return "detour_switch";
+    case TraceEventKind::kDetourTeardown: return "detour_teardown";
+    case TraceEventKind::kDiscoveryStart: return "discovery_start";
+    case TraceEventKind::kRelaySelected: return "relay_selected";
+    case TraceEventKind::kLeaseGranted: return "lease_granted";
+    case TraceEventKind::kLeaseExpired: return "lease_expired";
+    case TraceEventKind::kTcpRetransmit: return "tcp_retransmit";
+    case TraceEventKind::kTcpRto: return "tcp_rto";
+    case TraceEventKind::kQueueHighWater: return "queue_high_water";
+  }
+  return "?";
+}
+
+}  // namespace drs::obs

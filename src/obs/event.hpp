@@ -1,0 +1,89 @@
+// The structured trace-event vocabulary of the observability layer.
+//
+// A TraceEvent is a fixed-size, integer-only record: sim-time stamp, a kind,
+// the emitting node, and up to three context fields whose meaning depends on
+// the kind (documented per enumerator below and in docs/OBSERVABILITY.md).
+// Keeping the record POD and free of owning members is what lets the tracer
+// ring-buffer it with no per-event allocation.
+//
+// `obs` sits below every layer that emits (sim, proto, core, chaos), so node
+// and peer identities are plain integers here, not net::NodeId — the values
+// are the same, the dependency is not.
+#pragma once
+
+#include <cstdint>
+
+namespace drs::obs {
+
+/// Sentinels for fields a kind does not use; exporters render them as -1.
+inline constexpr std::uint16_t kNoNode = 0xFFFF;
+inline constexpr std::uint16_t kNoPeer = 0xFFFF;
+inline constexpr std::uint8_t kNoNetwork = 0xFF;
+
+/// Link-state codes carried in kLinkChange's a/b fields. Kept numerically
+/// identical to core::LinkState so a trace can be read without the core
+/// headers (pinned by test_obs_core).
+inline constexpr std::int64_t kLinkUp = 0;
+inline constexpr std::int64_t kLinkSuspect = 1;
+inline constexpr std::int64_t kLinkDown = 2;
+
+enum class TraceEventKind : std::uint8_t {
+  /// proto/icmp: echo request sent. network = pinned interface (kNoNetwork
+  /// when routed), a = icmp seq, b = destination IPv4 as an integer.
+  kPingSent,
+  /// proto/icmp: echo timed out unanswered. a = icmp seq.
+  kPingLost,
+  /// core/daemon: a *monitoring* probe to a peer was lost (the daemon-level
+  /// detection signal, distinct from raw kPingLost which also covers
+  /// external echoes). peer/network identify the probed link, a = icmp seq.
+  kProbeLost,
+  /// core/link_state: per-(peer, network) state machine moved. a = from
+  /// state, b = to state (kLinkUp/kLinkSuspect/kLinkDown).
+  kLinkChange,
+  /// core/daemon: peer left direct subnet routing (a detour episode opens).
+  /// a = new route mode (core::PeerRouteMode), b = relay node (kRelay only).
+  kDetourInstall,
+  /// core/daemon: detour changed shape while open (other network, relay,
+  /// unreachable). a = new mode, b = relay node.
+  kDetourSwitch,
+  /// core/daemon: peer returned to direct subnet routing (episode closes).
+  /// a = the mode being abandoned.
+  kDetourTeardown,
+  /// core/daemon: ROUTE_DISCOVER broadcast. a = 1 when refreshing a warm
+  /// standby (mode unchanged), 0 when hunting a live relay.
+  kDiscoveryStart,
+  /// core/daemon: relay chosen from offers. network = offer network,
+  /// a = relay node.
+  kRelaySelected,
+  /// core/daemon (relay side): forwarding lease granted via ROUTE_SET.
+  /// peer = target, a = requester.
+  kLeaseGranted,
+  /// core/daemon (relay side): forwarding lease aged out. peer = target,
+  /// a = requester.
+  kLeaseExpired,
+  /// proto/tcp_lite: go-back-N retransmission. a = seq, b = payload bytes.
+  kTcpRetransmit,
+  /// proto/tcp_lite: retransmission timer fired. a = the RTO that fired
+  /// (ns), b = consecutive retries so far.
+  kTcpRto,
+  /// sim/event_queue: live-event count first crossed a power-of-two
+  /// threshold (>= 16); at most O(log n) events per run. a = live count,
+  /// b = the threshold crossed. Timestamped with the pushed event's
+  /// scheduled time (the queue does not know "now").
+  kQueueHighWater,
+};
+
+/// Stable wire name ("ping_sent", "link_change", ...) used by both exporters.
+const char* to_string(TraceEventKind kind);
+
+struct TraceEvent {
+  std::int64_t at_ns = 0;
+  TraceEventKind kind = TraceEventKind::kPingSent;
+  std::uint16_t node = kNoNode;
+  std::uint16_t peer = kNoPeer;
+  std::uint8_t network = kNoNetwork;
+  std::int64_t a = 0;
+  std::int64_t b = 0;
+};
+
+}  // namespace drs::obs

@@ -1,0 +1,85 @@
+#include "obs/export.hpp"
+
+#include <algorithm>
+
+#include "util/json.hpp"
+
+namespace drs::obs {
+
+namespace {
+
+std::int64_t id_or_minus_one(std::uint16_t id, std::uint16_t sentinel) {
+  return id == sentinel ? -1 : static_cast<std::int64_t>(id);
+}
+
+std::int64_t network_or_minus_one(std::uint8_t network) {
+  return network == kNoNetwork ? -1 : static_cast<std::int64_t>(network);
+}
+
+}  // namespace
+
+std::string to_canonical_json(const std::vector<TraceEvent>& events) {
+  util::JsonWriter json;
+  json.begin_object();
+  json.field("format", "drs-trace-v1");
+  json.field("count", static_cast<std::int64_t>(events.size()));
+  json.key("events").begin_array();
+  for (const TraceEvent& event : events) {
+    json.begin_object()
+        .field("t", event.at_ns)
+        .field("kind", to_string(event.kind))
+        .field("node", id_or_minus_one(event.node, kNoNode))
+        .field("peer", id_or_minus_one(event.peer, kNoPeer))
+        .field("net", network_or_minus_one(event.network))
+        .field("a", event.a)
+        .field("b", event.b)
+        .end_object();
+  }
+  json.end_array();
+  json.end_object();
+  return json.str();
+}
+
+std::string to_chrome_trace_json(const std::vector<TraceEvent>& events) {
+  util::JsonWriter json;
+  json.begin_object();
+  json.field("displayTimeUnit", "ms");
+  json.key("traceEvents").begin_array();
+  for (const TraceEvent& event : events) {
+    const std::int64_t pid =
+        event.node == kNoNode ? 0 : static_cast<std::int64_t>(event.node);
+    json.begin_object()
+        .field("name", to_string(event.kind))
+        .field("ph", "i")
+        .field("s", "t")
+        .field("ts", event.at_ns / 1000)  // trace_event ts unit: microseconds
+        .field("pid", pid)
+        .field("tid", pid);
+    json.key("args")
+        .begin_object()
+        .field("t_ns", event.at_ns)
+        .field("peer", id_or_minus_one(event.peer, kNoPeer))
+        .field("net", network_or_minus_one(event.network))
+        .field("a", event.a)
+        .field("b", event.b)
+        .end_object();
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  return json.str();
+}
+
+std::vector<TraceEvent> filter_kinds(
+    const std::vector<TraceEvent>& events,
+    std::initializer_list<TraceEventKind> kinds) {
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& event : events) {
+    if (std::find(kinds.begin(), kinds.end(), event.kind) != kinds.end()) {
+      out.push_back(event);
+    }
+  }
+  return out;
+}
+
+}  // namespace drs::obs

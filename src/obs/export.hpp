@@ -1,0 +1,33 @@
+// Trace exporters.
+//
+// Two formats over the same events:
+//   - canonical JSON ("drs-trace-v1"): single line, fixed key order, integer
+//     fields only, written with util::JsonWriter — byte-comparing two traces
+//     is a valid equality check, which the golden-trace and thread-count
+//     invariance tests rely on;
+//   - Chrome trace_event JSON: loadable in chrome://tracing or Perfetto
+//     (see docs/OBSERVABILITY.md), one instant event per TraceEvent with the
+//     emitting node as pid/tid so each node gets its own track.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/event.hpp"
+
+namespace drs::obs {
+
+/// Canonical single-line JSON of `events` in the given order. Unused
+/// node/peer/network fields render as -1.
+std::string to_canonical_json(const std::vector<TraceEvent>& events);
+
+/// Chrome trace_event format ("traceEvents" array of instant events,
+/// timestamps in integer microseconds, full ns precision in args.t_ns).
+std::string to_chrome_trace_json(const std::vector<TraceEvent>& events);
+
+/// Events whose kind is in `kinds`, original order preserved. Golden traces
+/// use this to pin the control-plane story without megabytes of ping_sent.
+std::vector<TraceEvent> filter_kinds(const std::vector<TraceEvent>& events,
+                                     std::initializer_list<TraceEventKind> kinds);
+
+}  // namespace drs::obs

@@ -1,0 +1,36 @@
+// The compile-out emission layer.
+//
+// All tracing call sites go through DRS_TRACE_EVENT. In a normal build it
+// null-checks the tracer and emits; in a translation unit compiled with
+// -DDRS_OBS_DISABLED it expands to an empty statement — the tracer
+// expression and every argument are not even evaluated, so tracing has zero
+// cost where it is compiled out (pinned by test_obs_compiled_out).
+//
+// Usage (arguments after the tracer are TraceEvent designated initializers,
+// in declaration order):
+//
+//   DRS_TRACE_EVENT(host_.simulator().tracer(),
+//                   .at_ns = now.ns(),
+//                   .kind = obs::TraceEventKind::kProbeLost,
+//                   .node = self(), .peer = peer, .network = network,
+//                   .a = seq);
+#pragma once
+
+#include "obs/event.hpp"
+#include "obs/tracer.hpp"
+
+#ifndef DRS_OBS_DISABLED
+#define DRS_OBS_ENABLED 1
+#define DRS_TRACE_EVENT(tracer_expr, ...)                              \
+  do {                                                                 \
+    ::drs::obs::Tracer* drs_obs_tracer_ = (tracer_expr);               \
+    if (drs_obs_tracer_ != nullptr && drs_obs_tracer_->enabled()) {    \
+      drs_obs_tracer_->emit(::drs::obs::TraceEvent{__VA_ARGS__});      \
+    }                                                                  \
+  } while (false)
+#else
+#define DRS_OBS_ENABLED 0
+#define DRS_TRACE_EVENT(tracer_expr, ...) \
+  do {                                    \
+  } while (false)
+#endif

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <sstream>
 
+#include "obs/macros.hpp"
 #include "util/log.hpp"
 
 namespace drs::proto {
@@ -41,6 +42,11 @@ std::uint16_t IcmpService::ping(net::Ipv4Addr dst, const PingOptions& options,
   packet.payload = std::move(payload);
 
   ++sent_;
+  DRS_TRACE_EVENT(host_.simulator().tracer(),
+                  .at_ns = host_.simulator().now().ns(),
+                  .kind = obs::TraceEventKind::kPingSent, .node = host_.id(),
+                  .network = options.via.value_or(obs::kNoNetwork),
+                  .a = seq, .b = static_cast<std::int64_t>(dst.value()));
   Outstanding probe;
   probe.done = std::move(done);
   probe.sent_at = host_.simulator().now();
@@ -99,7 +105,13 @@ void IcmpService::finish(std::uint16_t seq, bool success) {
   Outstanding probe = std::move(it->second);
   outstanding_.erase(it);
   probe.timeout.cancel();
-  if (!success) ++timed_out_;
+  if (!success) {
+    ++timed_out_;
+    DRS_TRACE_EVENT(host_.simulator().tracer(),
+                    .at_ns = host_.simulator().now().ns(),
+                    .kind = obs::TraceEventKind::kPingLost, .node = host_.id(),
+                    .a = seq);
+  }
 
   PingResult result;
   result.success = success;

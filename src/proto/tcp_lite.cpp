@@ -4,6 +4,7 @@
 #include <cassert>
 #include <sstream>
 
+#include "obs/macros.hpp"
 #include "util/log.hpp"
 
 namespace drs::proto {
@@ -92,7 +93,15 @@ void TcpConnection::send_segment(std::uint64_t seq, std::uint32_t len, bool syn,
   }
 
   ++stats_.segments_sent;
-  if (is_retransmission) ++stats_.retransmissions;
+  if (is_retransmission) {
+    ++stats_.retransmissions;
+    DRS_TRACE_EVENT(service_.host().simulator().tracer(),
+                    .at_ns = service_.host().simulator().now().ns(),
+                    .kind = obs::TraceEventKind::kTcpRetransmit,
+                    .node = service_.host().id(),
+                    .a = static_cast<std::int64_t>(seq),
+                    .b = static_cast<std::int64_t>(len));
+  }
 
   const std::uint32_t seq_len = len + (syn ? 1u : 0u) + (fin ? 1u : 0u);
   if (seq_len > 0) {
@@ -161,6 +170,12 @@ void TcpConnection::arm_rto() {
 void TcpConnection::on_rto() {
   if (in_flight_.empty()) return;
   ++stats_.rto_firings;
+  DRS_TRACE_EVENT(service_.host().simulator().tracer(),
+                  .at_ns = service_.host().simulator().now().ns(),
+                  .kind = obs::TraceEventKind::kTcpRto,
+                  .node = service_.host().id(),
+                  .a = stats_.current_rto.ns(),
+                  .b = static_cast<std::int64_t>(retries_));
   if (++retries_ > config_.max_retries) {
     DRS_INFO("tcp", "port %u -> %s: retry budget exhausted, resetting",
              local_port_, peer_.to_string().c_str());

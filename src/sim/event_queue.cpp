@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/macros.hpp"
+
 namespace drs::sim {
 
 EventId EventQueue::push(util::SimTime t, EventCallback fn) {
@@ -11,6 +13,15 @@ EventId EventQueue::push(util::SimTime t, EventCallback fn) {
   std::push_heap(heap_.begin(), heap_.end(), Later{});
   pending_.insert(id);
   ++live_;
+  if (live_ >= high_water_next_) {
+    // Stamped with the pushed event's scheduled time: the queue has no
+    // notion of "now", and the scheduled time is deterministic.
+    DRS_TRACE_EVENT(tracer_, .at_ns = t.ns(),
+                    .kind = obs::TraceEventKind::kQueueHighWater,
+                    .a = static_cast<std::int64_t>(live_),
+                    .b = static_cast<std::int64_t>(high_water_next_));
+    high_water_next_ *= 2;
+  }
   return id;
 }
 

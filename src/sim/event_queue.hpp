@@ -14,6 +14,10 @@
 
 #include "util/time.hpp"
 
+namespace drs::obs {
+class Tracer;
+}
+
 namespace drs::sim {
 
 using EventCallback = std::function<void()>;
@@ -49,6 +53,12 @@ class EventQueue {
   /// True iff the id is scheduled and neither executed nor cancelled.
   bool is_pending(EventId id) const { return pending_.count(id) > 0; }
 
+  /// Observability sink (usually forwarded by Simulator::set_tracer). The
+  /// queue emits queue_high_water events when the live-event count first
+  /// crosses a power-of-two threshold — O(log n) events per run, so tracing
+  /// the queue costs nothing measurable.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
  private:
   struct Entry {
     util::SimTime time;
@@ -72,6 +82,8 @@ class EventQueue {
   std::unordered_set<EventId> cancelled_;  // tombstones still in heap_
   std::size_t live_ = 0;
   EventId next_id_ = 1;
+  obs::Tracer* tracer_ = nullptr;
+  std::size_t high_water_next_ = 16;  // next power-of-two threshold to report
 };
 
 }  // namespace drs::sim

@@ -12,6 +12,10 @@
 #include "sim/event_queue.hpp"
 #include "util/time.hpp"
 
+namespace drs::obs {
+class Tracer;
+}
+
 namespace drs::sim {
 
 /// Move-only cancellation token for a scheduled event. Default-constructed
@@ -84,10 +88,21 @@ class Simulator {
   util::SimTime next_event_time() const { return queue_.next_time(); }
   std::uint64_t executed_events() const { return executed_; }
 
+  /// Observability: the per-simulation trace sink (nullptr = tracing off,
+  /// the default — nothing above allocates or emits then). Attach before
+  /// constructing the system under test; components latch it at start() (see
+  /// docs/OBSERVABILITY.md). Non-owning, like everything else here.
+  obs::Tracer* tracer() const { return tracer_; }
+  void set_tracer(obs::Tracer* tracer) {
+    tracer_ = tracer;
+    queue_.set_tracer(tracer);
+  }
+
  private:
   util::SimTime now_ = util::SimTime::zero();
   EventQueue queue_;
   std::uint64_t executed_ = 0;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace drs::sim

@@ -1,0 +1,75 @@
+// Overhead regression for the compile-time kill switch.
+//
+// This translation unit is built with -DDRS_OBS_DISABLED (see
+// tests/CMakeLists.txt): DRS_TRACE_EVENT must expand to nothing (its
+// arguments never evaluated), snapshot_metrics must leave the registry
+// untouched, and a full paper-scale run — the Fig. 1 anchor, N = 90 — must
+// not allocate a single trace ring. The linked libraries are built normally;
+// what this proves is the per-TU contract a hot downstream component relies
+// on when it opts out.
+#include <gtest/gtest.h>
+
+#ifndef DRS_OBS_DISABLED
+#error "test_obs_compiled_out must be compiled with -DDRS_OBS_DISABLED"
+#endif
+
+#include "core/system.hpp"
+#include "net/network.hpp"
+#include "obs/macros.hpp"
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
+#include "sim/simulator.hpp"
+
+namespace drs {
+namespace {
+
+static_assert(DRS_OBS_ENABLED == 0,
+              "DRS_OBS_DISABLED must zero the feature-test macro");
+
+TEST(CompiledOut, MacroEmitsNothingAndEvaluatesNoArguments) {
+  obs::Tracer tracer(8);
+  int evaluations = 0;
+  const auto tracer_expr = [&]() {
+    ++evaluations;
+    return &tracer;
+  };
+  DRS_TRACE_EVENT(tracer_expr(), .at_ns = 1,
+                  .kind = obs::TraceEventKind::kPingSent);
+  (void)tracer_expr;  // referenced only inside the compiled-out macro
+  EXPECT_EQ(evaluations, 0) << "disabled macro must not evaluate arguments";
+  EXPECT_EQ(tracer.emitted(), 0u);
+  EXPECT_EQ(tracer.size(), 0u);
+}
+
+TEST(CompiledOut, SnapshotMetricsIsGatedOff) {
+  sim::Simulator sim;
+  net::ClusterNetwork network(sim, {.node_count = 3, .backplane = {}});
+  core::DrsSystem system(network, core::DrsConfig{});
+  system.start();
+  sim.run_for(util::Duration::millis(300));
+  system.stop();
+  obs::MetricRegistry registry;
+  core::snapshot_metrics(system, registry);
+  EXPECT_TRUE(registry.empty());
+  EXPECT_EQ(registry.size(), 0u);
+}
+
+TEST(CompiledOut, PaperScaleRunAllocatesZeroTraceBuffers) {
+  const std::uint64_t before = obs::Tracer::rings_allocated();
+  // The Fig. 1 headline configuration: ninety hosts, full-mesh monitoring.
+  sim::Simulator sim;
+  net::ClusterNetwork network(sim, {.node_count = 90, .backplane = {}});
+  core::DrsSystem system(network, core::DrsConfig{});
+  system.start();
+  sim.run_for(util::Duration::millis(250));  // > 2 full probe cycles
+  obs::MetricRegistry registry;
+  core::snapshot_metrics(system, registry);
+  system.stop();
+  EXPECT_GT(system.total_probes_sent(), 0u) << "the cluster really ran";
+  EXPECT_TRUE(registry.empty());
+  EXPECT_EQ(obs::Tracer::rings_allocated(), before)
+      << "a run without a tracer must not allocate ring storage";
+}
+
+}  // namespace
+}  // namespace drs
