@@ -1,0 +1,300 @@
+// Simulation-core microbenchmarks: the event-throughput numbers everything
+// else multiplies (docs/PERFORMANCE.md).
+//
+// Three tiers, cheapest first:
+//   queue       raw EventQueue schedule/pop and schedule/cancel loops
+//   probe storm a full DRS cluster (N daemons full-mesh probing on two
+//               networks) run for a fixed simulated span — the N=90 shape is
+//               the paper's proactive-cost anchor and the tracked CI number
+//   chaos batch a sequential slice of the chaos-campaign family, i.e. the
+//               workload the survivability results are produced by
+//
+//   bench_simcore --json-out BENCH_simcore.json
+//
+// Event counts are deterministic per shape; wall-clock numbers obviously are
+// not. The checked-in BENCH_simcore.json is the perf baseline CI compares
+// fresh runs against (probe-storm N=90 events/s, >25% regression fails).
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "chaos/campaign.hpp"
+#include "chaos/runner.hpp"
+#include "core/system.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+#include "util/flags.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace drs;
+
+double now_seconds() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch()).count();
+}
+
+// --- tier 1: raw queue ------------------------------------------------------
+
+struct QueueNumbers {
+  double push_pop_ns = 0.0;  // per event, schedule + pop + dispatch
+  double cancel_ns = 0.0;    // per op, schedule + cancel
+  std::uint64_t events = 0;
+};
+
+QueueNumbers measure_queue(std::uint64_t seed) {
+  QueueNumbers numbers;
+  constexpr std::uint64_t kEvents = 400'000;
+  constexpr std::uint64_t kWindowNs = 2'000'000;  // spread within 2 ms of now
+
+  {
+    // Schedule/pop: keep a rolling window of pending events, like a running
+    // simulation does (timeouts armed ahead, popped in time order).
+    sim::EventQueue queue;
+    util::Rng rng(seed, 1);
+    std::uint64_t fired = 0;
+    util::SimTime now = util::SimTime::zero();
+    const double t0 = now_seconds();
+    for (std::uint64_t i = 0; i < kEvents; ++i) {
+      const auto t = now + util::Duration::nanos(static_cast<std::int64_t>(
+                               rng.next_below(kWindowNs)));
+      queue.push(t, [&fired] { ++fired; });
+      if (queue.size() >= 1024) {
+        auto popped = queue.pop();
+        now = popped.time;
+        popped.fn();
+      }
+    }
+    while (!queue.empty()) {
+      auto popped = queue.pop();
+      popped.fn();
+    }
+    const double t1 = now_seconds();
+    benchmark::DoNotOptimize(fired);
+    numbers.push_pop_ns = (t1 - t0) * 1e9 / static_cast<double>(kEvents);
+    numbers.events = fired;
+  }
+
+  {
+    // Schedule/cancel: the probe-timeout lifecycle — almost every timeout is
+    // cancelled by the reply before it fires.
+    sim::EventQueue queue;
+    util::Rng rng(seed, 2);
+    std::vector<sim::EventId> ids;
+    ids.reserve(1024);
+    std::uint64_t cancelled = 0;
+    const double t0 = now_seconds();
+    for (std::uint64_t i = 0; i < kEvents; ++i) {
+      const auto t = util::SimTime::from_ns(static_cast<std::int64_t>(
+          i * 16 + rng.next_below(kWindowNs)));
+      ids.push_back(queue.push(t, [] {}));
+      if (ids.size() == 1024) {
+        for (sim::EventId id : ids) cancelled += queue.cancel(id) ? 1u : 0u;
+        ids.clear();
+      }
+    }
+    for (sim::EventId id : ids) cancelled += queue.cancel(id) ? 1u : 0u;
+    const double t1 = now_seconds();
+    benchmark::DoNotOptimize(cancelled);
+    numbers.cancel_ns = (t1 - t0) * 1e9 / static_cast<double>(kEvents);
+  }
+  return numbers;
+}
+
+// --- tier 2: full-mesh probe storm ------------------------------------------
+
+struct StormNumbers {
+  std::uint16_t nodes = 0;
+  std::uint64_t sim_events = 0;
+  double wall_seconds = 0.0;
+  double events_per_sec = 0.0;
+};
+
+StormNumbers run_probe_storm(std::uint16_t nodes, util::Duration span) {
+  sim::Simulator sim;
+  net::ClusterNetwork network(sim, {.node_count = nodes, .backplane = {}});
+  core::DrsSystem system(network, chaos::fast_campaign_drs_config());
+  system.start();
+  const double t0 = now_seconds();
+  sim.run_for(span);
+  const double t1 = now_seconds();
+  system.stop();
+
+  StormNumbers numbers;
+  numbers.nodes = nodes;
+  numbers.sim_events = sim.executed_events();
+  numbers.wall_seconds = t1 - t0;
+  numbers.events_per_sec =
+      numbers.wall_seconds > 0.0
+          ? static_cast<double>(numbers.sim_events) / numbers.wall_seconds
+          : 0.0;
+  return numbers;
+}
+
+// --- tier 3: chaos-campaign batch -------------------------------------------
+
+struct ChaosNumbers {
+  std::uint64_t campaigns = 0;
+  std::uint64_t sim_events = 0;
+  double wall_seconds = 0.0;
+  double events_per_sec = 0.0;
+};
+
+ChaosNumbers run_chaos_batch(std::uint64_t seed, std::uint64_t campaigns) {
+  chaos::ChaosOptions options;
+  options.seed = seed;
+  options.campaigns = campaigns;
+  options.threads = 1;  // single worker: a clean per-core throughput number
+  const double t0 = now_seconds();
+  const chaos::ChaosReport report = run_chaos(options);
+  const double t1 = now_seconds();
+
+  ChaosNumbers numbers;
+  numbers.campaigns = campaigns;
+  numbers.sim_events = report.sim_events;
+  numbers.wall_seconds = t1 - t0;
+  numbers.events_per_sec =
+      numbers.wall_seconds > 0.0
+          ? static_cast<double>(numbers.sim_events) / numbers.wall_seconds
+          : 0.0;
+  return numbers;
+}
+
+// --- report -----------------------------------------------------------------
+
+std::string to_json(const QueueNumbers& queue,
+                    const std::vector<StormNumbers>& storms,
+                    const ChaosNumbers& chaos_batch) {
+  util::JsonWriter json;
+  json.begin_object();
+  json.field("schema", "bench_simcore.v1");
+  json.key("queue");
+  json.begin_object()
+      .field("push_pop_ns_per_event", queue.push_pop_ns)
+      .field("cancel_ns_per_op", queue.cancel_ns)
+      .field("events", queue.events)
+      .end_object();
+  json.key("probe_storm");
+  json.begin_array();
+  for (const StormNumbers& storm : storms) {
+    json.begin_object()
+        .field("nodes", static_cast<std::uint64_t>(storm.nodes))
+        .field("sim_events", storm.sim_events)
+        .field("wall_seconds", storm.wall_seconds)
+        .field("events_per_sec", storm.events_per_sec)
+        .end_object();
+  }
+  json.end_array();
+  json.key("chaos_batch");
+  json.begin_object()
+      .field("campaigns", chaos_batch.campaigns)
+      .field("sim_events", chaos_batch.sim_events)
+      .field("wall_seconds", chaos_batch.wall_seconds)
+      .field("events_per_sec", chaos_batch.events_per_sec)
+      .end_object();
+  json.end_object();
+  return json.str();
+}
+
+// Timing kernels for --timing (google-benchmark's statistics complement the
+// one-shot numbers above).
+void BM_QueueSchedulePop(benchmark::State& state) {
+  sim::EventQueue queue;
+  util::Rng rng(7, 1);
+  std::uint64_t fired = 0;
+  util::SimTime now = util::SimTime::zero();
+  for (auto _ : state) {
+    const auto t = now + util::Duration::nanos(
+                             static_cast<std::int64_t>(rng.next_below(1 << 20)));
+    queue.push(t, [&fired] { ++fired; });
+    if (queue.size() >= 1024) {
+      auto popped = queue.pop();
+      now = popped.time;
+      popped.fn();
+    }
+  }
+  benchmark::DoNotOptimize(fired);
+}
+BENCHMARK(BM_QueueSchedulePop);
+
+void BM_ProbeStorm90(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        run_probe_storm(90, util::Duration::millis(100)).sim_events);
+  }
+}
+BENCHMARK(BM_ProbeStorm90)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto flags = util::Flags::parse(
+      argc, argv,
+      {{"seed", "seed for the queue microbench streams (default 7)"},
+       {"storm-span-ms", "simulated span per probe storm (default 500)"},
+       {"chaos-campaigns", "campaigns in the chaos batch (default 50)"},
+       {"json-out", "write the canonical JSON report to this path"},
+       {"timing", "also run google-benchmark timing kernels"}});
+  if (!flags) return 1;
+  if (flags->help_requested()) return 0;
+
+  const auto seed = static_cast<std::uint64_t>(flags->get_int("seed", 7));
+  const auto span =
+      util::Duration::millis(flags->get_int("storm-span-ms", 500));
+  const auto campaigns =
+      static_cast<std::uint64_t>(flags->get_int("chaos-campaigns", 50));
+
+  std::printf("=== sim-core microbenchmarks ===\n");
+  const QueueNumbers queue = measure_queue(seed);
+  std::printf("queue: %.1f ns/event schedule+pop, %.1f ns/op schedule+cancel\n",
+              queue.push_pop_ns, queue.cancel_ns);
+
+  std::vector<StormNumbers> storms;
+  util::Table table({"nodes", "sim events", "wall ms", "events/s"});
+  for (const std::uint16_t nodes : {std::uint16_t{8}, std::uint16_t{32},
+                                    std::uint16_t{90}, std::uint16_t{256}}) {
+    storms.push_back(run_probe_storm(nodes, span));
+    const StormNumbers& storm = storms.back();
+    char wall[32], rate[32];
+    std::snprintf(wall, sizeof wall, "%.1f", storm.wall_seconds * 1e3);
+    std::snprintf(rate, sizeof rate, "%.0f", storm.events_per_sec);
+    table.add_row({std::to_string(storm.nodes),
+                   std::to_string(storm.sim_events), wall, rate});
+  }
+  util::export_table_csv("simcore_probe_storm", table);
+  std::printf("%s\n", table.to_text().c_str());
+
+  const ChaosNumbers chaos_batch = run_chaos_batch(seed, campaigns);
+  std::printf(
+      "chaos batch: %llu campaigns, %llu events, %.2f s wall, %.0f events/s\n",
+      static_cast<unsigned long long>(chaos_batch.campaigns),
+      static_cast<unsigned long long>(chaos_batch.sim_events),
+      chaos_batch.wall_seconds, chaos_batch.events_per_sec);
+
+  const std::string report = to_json(queue, storms, chaos_batch);
+  std::printf("=== JSON ===\n%s\n", report.c_str());
+  const std::string json_out = flags->get_string("json-out", "");
+  if (!json_out.empty()) {
+    std::ofstream out(json_out, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "cannot open --json-out path: %s\n",
+                   json_out.c_str());
+      return 1;
+    }
+    out << report << '\n';
+  }
+
+  if (flags->get_bool("timing")) {
+    int bench_argc = 1;
+    benchmark::Initialize(&bench_argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+  }
+  return 0;
+}

@@ -17,7 +17,7 @@ core::DrsConfig fast_campaign_drs_config() {
 }
 
 CampaignResult run_campaign(std::uint64_t seed, std::uint64_t campaign,
-                            const CampaignConfig& config) {
+                            const CampaignConfig& config, util::Arena* arena) {
   const Schedule schedule =
       generate_schedule(seed, campaign, config.schedule);
   // The repair bound is always derived from the *healthy* timing: a crippled
@@ -28,7 +28,7 @@ CampaignResult run_campaign(std::uint64_t seed, std::uint64_t campaign,
   core::DrsConfig drs = config.drs;
   if (config.cripple_detection) drs.failures_to_down = 1u << 30;
 
-  sim::Simulator sim;
+  sim::Simulator sim(arena);
   // Attached before the system so the daemons latch it at start(); the
   // tracer is what failover latency is measured from, so it is always on.
   obs::Tracer tracer(config.trace_capacity);

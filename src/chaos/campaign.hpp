@@ -15,6 +15,7 @@
 #include "core/config.hpp"
 #include "obs/event.hpp"
 #include "obs/timeline.hpp"
+#include "util/arena.hpp"
 
 namespace drs::chaos {
 
@@ -68,7 +69,11 @@ struct CampaignResult {
 };
 
 /// Runs campaign `campaign` of the (seed, config) family to completion.
+/// `arena` (optional) backs the simulation's pooled allocations; the chaos
+/// runner passes a per-worker arena and reset()s it between campaigns so a
+/// warmed-up batch reuses the same chunks instead of touching the heap.
 CampaignResult run_campaign(std::uint64_t seed, std::uint64_t campaign,
-                            const CampaignConfig& config);
+                            const CampaignConfig& config,
+                            util::Arena* arena = nullptr);
 
 }  // namespace drs::chaos

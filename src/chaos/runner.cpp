@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "obs/export.hpp"
+#include "util/arena.hpp"
 #include "util/parallel.hpp"
 
 namespace drs::chaos {
@@ -18,8 +19,14 @@ ChaosReport run_chaos(const ChaosOptions& options) {
   if (options.capture_traces) campaign_config.capture_trace = true;
   const std::vector<CampaignResult> results = util::run_indexed_jobs(
       options.campaigns, options.threads, [&](std::uint64_t i) {
+        // One arena per worker thread, rewound (not freed) between campaigns:
+        // after the first campaign warms it up, the rest of the batch runs
+        // against recycled chunks. Arenas are thread-local because Arena is
+        // deliberately not thread-safe (see util/arena.hpp).
+        thread_local util::Arena arena;
+        arena.reset();
         return run_campaign(options.seed, options.first_campaign + i,
-                            campaign_config);
+                            campaign_config, &arena);
       });
 
   ChaosReport report;

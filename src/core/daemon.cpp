@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "obs/macros.hpp"
+#include "util/arena.hpp"
 #include "util/log.hpp"
 
 namespace drs::core {
@@ -32,6 +33,8 @@ DrsDaemon::DrsDaemon(net::Host& host, proto::IcmpService& icmp,
       if (peer != self()) peers_[peer] = PeerState{};
     }
   }
+  monitored_.assign(node_count_, 0);
+  for (const auto& [peer, state] : peers_) monitored_[peer] = 1;
   host_.register_handler(net::Protocol::kDrsControl,
                          [this](const net::Packet& p, NetworkId in_if) {
                            on_control(p, in_if);
@@ -50,7 +53,7 @@ void DrsDaemon::start() {
 
 void DrsDaemon::stop() {
   cycle_timer_.stop();
-  for (auto seq : outstanding_probes_) icmp_.cancel(seq);
+  outstanding_probes_.for_each([this](std::uint16_t seq) { icmp_.cancel(seq); });
   outstanding_probes_.clear();
   for (auto& handle : pending_probe_sends_) handle.cancel();
   pending_probe_sends_.clear();
@@ -84,7 +87,7 @@ void DrsDaemon::query_peer_status(NodeId peer, util::Duration timeout,
   const std::uint64_t request_id =
       (static_cast<std::uint64_t>(self()) << 32) | next_request_seq_++;
 
-  auto payload = std::make_shared<DrsControlPayload>();
+  auto payload = util::make_pooled<DrsControlPayload>(host_.simulator().arena());
   payload->type = DrsMessageType::kStatusRequest;
   payload->request_id = request_id;
   payload->requester = self();
@@ -535,7 +538,7 @@ void DrsDaemon::sync_routes() {
 void DrsDaemon::send_control(DrsMessageType type, NodeId target_node,
                              std::uint64_t request_id, NodeId relay,
                              NetworkId via, net::Ipv4Addr dst) {
-  auto payload = std::make_shared<DrsControlPayload>();
+  auto payload = util::make_pooled<DrsControlPayload>(host_.simulator().arena());
   payload->type = type;
   payload->request_id = request_id;
   payload->requester = self();
@@ -553,7 +556,7 @@ void DrsDaemon::send_control(DrsMessageType type, NodeId target_node,
 void DrsDaemon::broadcast_control(DrsMessageType type, NodeId target_node,
                                   std::uint64_t request_id) {
   for (NetworkId k = 0; k < net::kNetworksPerHost; ++k) {
-    auto payload = std::make_shared<DrsControlPayload>();
+    auto payload = util::make_pooled<DrsControlPayload>(host_.simulator().arena());
     payload->type = type;
     payload->request_id = request_id;
     payload->requester = self();
@@ -569,7 +572,7 @@ void DrsDaemon::broadcast_control(DrsMessageType type, NodeId target_node,
 }
 
 void DrsDaemon::on_control(const net::Packet& packet, NetworkId in_ifindex) {
-  const auto* msg = dynamic_cast<const DrsControlPayload*>(packet.payload.get());
+  const DrsControlPayload* msg = net::payload_cast<DrsControlPayload>(packet.payload);
   if (msg == nullptr) return;
   switch (msg->type) {
     case DrsMessageType::kRouteDiscover:
@@ -601,7 +604,7 @@ void DrsDaemon::handle_status_request(const DrsControlPayload& msg,
   (void)in_ifindex;
   if (msg.target != self()) return;
   const RemoteStatus status = local_status();
-  auto payload = std::make_shared<DrsControlPayload>();
+  auto payload = util::make_pooled<DrsControlPayload>(host_.simulator().arena());
   payload->type = DrsMessageType::kStatusReply;
   payload->request_id = msg.request_id;
   payload->requester = self();  // the responder identifies itself here
@@ -639,7 +642,7 @@ void DrsDaemon::handle_discover(const DrsControlPayload& msg,
   if (msg.requester == self() || msg.target == self()) return;
   if (msg.target >= node_count_) return;
   // No link-state evidence about unmonitored peers: never volunteer blind.
-  if (peers_.find(msg.target) == peers_.end()) return;
+  if (!monitors(msg.target)) return;
   // Loop avoidance: offer only when we have *direct* usable links — never
   // volunteer a path that itself depends on a detour.
   bool can_reach_target = false;

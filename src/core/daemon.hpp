@@ -27,7 +27,6 @@
 #include <cstdint>
 #include <map>
 #include <optional>
-#include <unordered_set>
 #include <vector>
 
 #include "core/config.hpp"
@@ -37,6 +36,7 @@
 #include "net/host.hpp"
 #include "proto/icmp.hpp"
 #include "sim/timer.hpp"
+#include "util/flat_map.hpp"
 
 namespace drs::core {
 
@@ -61,7 +61,12 @@ class DrsDaemon {
   const DaemonMetrics& metrics() const { return metrics_; }
 
   /// Whether this daemon probes (and therefore has link state for) `peer`.
-  bool monitors(net::NodeId peer) const { return peers_.count(peer) > 0; }
+  /// O(1) bitmap: every RouteDiscover broadcast any node sends is checked
+  /// against this on every other node, so under a control storm it runs once
+  /// per received control frame.
+  bool monitors(net::NodeId peer) const {
+    return peer < monitored_.size() && monitored_[peer] != 0;
+  }
   std::size_t monitored_count() const { return peers_.size(); }
 
   PeerRouteMode peer_mode(net::NodeId peer) const;
@@ -165,10 +170,12 @@ class DrsDaemon {
   LinkStateTable links_;
   DaemonMetrics metrics_;
   std::map<net::NodeId, PeerState> peers_;
+  /// Mirror of peers_' key set, indexed by node id; written only at
+  /// construction (the monitored set is fixed for a daemon's lifetime).
+  std::vector<std::uint8_t> monitored_;
   std::map<LeaseKey, Lease> leases_;
   sim::PeriodicTimer cycle_timer_;
-  // drs-lint: unordered-ok(membership by probe seq; only iterated to cancel pings on stop, order unobservable)
-  std::unordered_set<std::uint16_t> outstanding_probes_;
+  util::FlatSet<std::uint16_t> outstanding_probes_;
   std::vector<sim::EventHandle> pending_probe_sends_;
   std::uint32_t next_request_seq_ = 1;
   /// Per-network RTT estimators (seconds) for the adaptive probe timeout.

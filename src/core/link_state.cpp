@@ -1,6 +1,5 @@
 #include "core/link_state.hpp"
 
-#include <cassert>
 
 #include "obs/macros.hpp"
 
@@ -32,17 +31,6 @@ LinkStateTable::LinkStateTable(net::NodeId self, std::uint16_t node_count,
                      LinkPolicy{failures_to_down, successes_to_up, 0,
                                 util::Duration::seconds(10),
                                 util::Duration::seconds(5)}) {}
-
-LinkStateTable::Entry& LinkStateTable::entry(net::NodeId peer, net::NetworkId network) {
-  assert(peer < node_count_ && network < net::kNetworksPerHost);
-  return entries_[static_cast<std::size_t>(peer) * net::kNetworksPerHost + network];
-}
-
-const LinkStateTable::Entry& LinkStateTable::entry(net::NodeId peer,
-                                                   net::NetworkId network) const {
-  assert(peer < node_count_ && network < net::kNetworksPerHost);
-  return entries_[static_cast<std::size_t>(peer) * net::kNetworksPerHost + network];
-}
 
 bool LinkStateTable::record_probe(net::NodeId peer, net::NetworkId network,
                                   bool success, util::SimTime now) {
@@ -95,10 +83,6 @@ bool LinkStateTable::record_probe(net::NodeId peer, net::NetworkId network,
   const bool was_down = before == LinkState::kDown;
   const bool is_down = e.state == LinkState::kDown;
   return was_down != is_down;
-}
-
-LinkState LinkStateTable::state(net::NodeId peer, net::NetworkId network) const {
-  return entry(peer, network).state;
 }
 
 std::size_t LinkStateTable::down_count() const {

@@ -57,7 +57,11 @@ class LinkStateTable {
   bool record_probe(net::NodeId peer, net::NetworkId network, bool success,
                     util::SimTime now);
 
-  LinkState state(net::NodeId peer, net::NetworkId network) const;
+  /// Inline: every RouteDiscover any daemon receives consults the table for
+  /// both networks, so under a control storm this is a per-frame lookup.
+  LinkState state(net::NodeId peer, net::NetworkId network) const {
+    return entry(peer, network).state;
+  }
   /// Operational for routing decisions: UP or SUSPECT (a link is only acted
   /// on once proven DOWN — the paper's daemon fixes problems, it does not
   /// anticipate them from a single lost echo).
@@ -87,8 +91,14 @@ class LinkStateTable {
     std::deque<util::SimTime> recent_downs;  // for flap damping
     util::SimTime suppressed_until;          // zero = not suppressed
   };
-  Entry& entry(net::NodeId peer, net::NetworkId network);
-  const Entry& entry(net::NodeId peer, net::NetworkId network) const;
+  Entry& entry(net::NodeId peer, net::NetworkId network) {
+    return entries_[static_cast<std::size_t>(peer) * net::kNetworksPerHost +
+                    network];
+  }
+  const Entry& entry(net::NodeId peer, net::NetworkId network) const {
+    return entries_[static_cast<std::size_t>(peer) * net::kNetworksPerHost +
+                    network];
+  }
 
   net::NodeId self_;
   std::uint16_t node_count_;

@@ -28,6 +28,9 @@ enum class DrsMessageType : std::uint8_t {
 const char* to_string(DrsMessageType t);
 
 struct DrsControlPayload final : net::Payload {
+  static constexpr net::PayloadKind kKind = net::PayloadKind::kDrsControl;
+  DrsControlPayload() : net::Payload(kKind) {}
+
   DrsMessageType type = DrsMessageType::kRouteDiscover;
   /// Correlates offers/acks with a discovery round: (requester << 32 | seq).
   std::uint64_t request_id = 0;

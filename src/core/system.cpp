@@ -13,8 +13,15 @@ DrsSystem::DrsSystem(net::ClusterNetwork& network, DrsConfig config)
   const std::uint16_t n = network_.node_count();
   icmp_.reserve(n);
   daemons_.reserve(n);
+  // Pre-size the hot-path tables from the known monitoring fan-out: each node
+  // probes (n - 1) peers on both networks per cycle, and every probe holds a
+  // queue slot for its send and its timeout. Warmup then runs without a
+  // single table regrow (asserted by the zero-allocation test).
+  const std::size_t probes_per_node = 2u * (n > 0 ? n - 1u : 0u);
+  network_.simulator().reserve_events(4u * n * probes_per_node + 64u);
   for (net::NodeId i = 0; i < n; ++i) {
     icmp_.push_back(std::make_unique<proto::IcmpService>(network_.host(i)));
+    icmp_.back()->reserve(2u * probes_per_node);
     daemons_.push_back(
         std::make_unique<DrsDaemon>(network_.host(i), *icmp_.back(), n, config));
   }
@@ -136,7 +143,8 @@ void DrsSystem::collect_metrics(obs::MetricRegistry& registry) const {
   }
 
   for (net::NetworkId k = 0; k < net::kNetworksPerHost; ++k) {
-    const net::Backplane::Counters& c = network_.backplane(k).counters();
+    const net::Backplane& bp = network_.backplane(k);
+    const net::Backplane::Counters& c = bp.counters();
     const auto set = [&](const char* name, std::uint64_t value) {
       registry.counter(obs::MetricRegistry::scoped("backplane", k, name))
           .add(static_cast<std::int64_t>(value));
@@ -147,7 +155,33 @@ void DrsSystem::collect_metrics(obs::MetricRegistry& registry) const {
     set("dropped_backlog", c.dropped_backlog);
     set("lost_in_flight", c.lost_in_flight);
     set("lost_random", c.lost_random);
+    registry.gauge(obs::MetricRegistry::scoped("backplane", k, "flight_slots"))
+        .set(static_cast<std::int64_t>(bp.flight_slots()));
   }
+
+  // Allocator-pressure gauges: under steady-state monitoring every one of
+  // these is flat — event slots, flight slots, and arena chunks stop growing
+  // once traffic peaks, and further probe cycles recycle pooled storage.
+  const sim::Simulator& sim = network_.simulator();
+  registry.gauge("sim.event_slots")
+      .set(static_cast<std::int64_t>(sim.event_slots()));
+  registry.gauge("sim.pending_events")
+      .set(static_cast<std::int64_t>(sim.pending_events()));
+  registry.counter("sim.scheduled_events")
+      .add(static_cast<std::int64_t>(sim.scheduled_events()));
+  registry.counter("sim.executed_events")
+      .add(static_cast<std::int64_t>(sim.executed_events()));
+  const util::Arena::Stats& arena = network_.simulator().arena().stats();
+  registry.gauge("arena.chunks").set(static_cast<std::int64_t>(arena.chunks));
+  registry.gauge("arena.bytes_reserved")
+      .set(static_cast<std::int64_t>(arena.bytes_reserved));
+  registry.counter("arena.allocations")
+      .add(static_cast<std::int64_t>(arena.allocations));
+  registry.counter("arena.freelist_hits")
+      .add(static_cast<std::int64_t>(arena.freelist_hits));
+  registry.counter("arena.oversize")
+      .add(static_cast<std::int64_t>(arena.oversize));
+  registry.counter("arena.resets").add(static_cast<std::int64_t>(arena.resets));
 }
 
 }  // namespace drs::core

@@ -7,6 +7,7 @@
 #include "core/system.hpp"
 #include "montecarlo/component_model.hpp"
 #include "net/network.hpp"
+#include "util/arena.hpp"
 #include "util/rng.hpp"
 
 namespace drs::mc {
@@ -28,6 +29,9 @@ PacketValidationResult validate_against_packet_level(
   PacketValidationResult result;
   util::Rng rng(options.seed, 0x9ACEDULL);
   std::vector<std::uint32_t> picks;
+  // One arena for the whole validation run, rewound between replications so
+  // every sample after the first reuses the warmed-up chunks.
+  util::Arena arena;
 
   for (std::uint64_t sample = 0; sample < options.samples; ++sample) {
     rng.sample_distinct(
@@ -38,7 +42,8 @@ PacketValidationResult validate_against_packet_level(
     const bool model = analytic::pair_connected(options.nodes, failed, 0, 1);
 
     // Fresh cluster per sample: inject, let the daemons converge, measure.
-    sim::Simulator simulator;
+    arena.reset();
+    sim::Simulator simulator(&arena);
     net::ClusterNetwork network(
         simulator,
         {.node_count = static_cast<std::uint16_t>(options.nodes), .backplane = {}});

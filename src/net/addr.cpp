@@ -23,15 +23,6 @@ std::string MacAddr::to_string() const {
   return buf;
 }
 
-Ipv4Addr cluster_ip(NetworkId network, NodeId node) {
-  return Ipv4Addr::octets(10, static_cast<std::uint8_t>(network + 1), 0,
-                          static_cast<std::uint8_t>(node + 1));
-}
-
-Ipv4Addr cluster_subnet(NetworkId network) {
-  return Ipv4Addr::octets(10, static_cast<std::uint8_t>(network + 1), 0, 0);
-}
-
 bool parse_cluster_ip(Ipv4Addr ip, NetworkId& network, NodeId& node) {
   const std::uint32_t v = ip.value();
   if (((v >> 24) & 0xFF) != 10) return false;
@@ -43,12 +34,6 @@ bool parse_cluster_ip(Ipv4Addr ip, NetworkId& network, NodeId& node) {
   network = static_cast<NetworkId>(net_octet - 1);
   node = static_cast<NodeId>(host_octet - 1);
   return true;
-}
-
-MacAddr cluster_mac(NetworkId network, NodeId node) {
-  // Locally administered OUI 02:44:52 ("DR"), then network and node.
-  return MacAddr((0x024452ull << 24) | (std::uint64_t{network} << 16) |
-                 std::uint64_t{node});
 }
 
 }  // namespace drs::net

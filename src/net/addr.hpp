@@ -67,15 +67,26 @@ class MacAddr {
   std::uint64_t value_ = 0;
 };
 
-/// The cluster addressing plan (see file comment).
-Ipv4Addr cluster_ip(NetworkId network, NodeId node);
-Ipv4Addr cluster_subnet(NetworkId network);
+/// The cluster addressing plan (see file comment). Constexpr: these run on
+/// per-frame paths (broadcast checks, probe addressing), so they must fold
+/// to constants rather than cost a call.
+constexpr Ipv4Addr cluster_ip(NetworkId network, NodeId node) {
+  return Ipv4Addr::octets(10, static_cast<std::uint8_t>(network + 1), 0,
+                          static_cast<std::uint8_t>(node + 1));
+}
+constexpr Ipv4Addr cluster_subnet(NetworkId network) {
+  return Ipv4Addr::octets(10, static_cast<std::uint8_t>(network + 1), 0, 0);
+}
 inline constexpr std::uint8_t kClusterPrefixLen = 24;
 
 /// Inverse of cluster_ip; returns false if `ip` is not a cluster host address.
 bool parse_cluster_ip(Ipv4Addr ip, NetworkId& network, NodeId& node);
 
-MacAddr cluster_mac(NetworkId network, NodeId node);
+constexpr MacAddr cluster_mac(NetworkId network, NodeId node) {
+  // Locally administered OUI 02:44:52 ("DR"), then network and node.
+  return MacAddr((0x024452ull << 24) | (std::uint64_t{network} << 16) |
+                 std::uint64_t{node});
+}
 
 }  // namespace drs::net
 

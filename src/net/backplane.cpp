@@ -15,6 +15,27 @@ void Backplane::attach(Nic& nic) {
   nic.attach(*this);
 }
 
+std::uint32_t Backplane::acquire_flight(const Frame& frame, MacAddr sender) {
+  if (!flight_free_.empty()) {
+    const std::uint32_t slot = flight_free_.back();
+    flight_free_.pop_back();
+    flight_[slot] = FlightFrame{frame, sender};
+    return slot;
+  }
+  const auto slot = static_cast<std::uint32_t>(flight_.size());
+  flight_.push_back(FlightFrame{frame, sender});
+  return slot;
+}
+
+Backplane::FlightFrame Backplane::take_flight(std::uint32_t slot) {
+  // Move out before any delivery work: delivering can re-enter transmit(),
+  // which may grow the pool and invalidate references into it.
+  FlightFrame out = std::move(flight_[slot]);
+  flight_[slot] = FlightFrame{};  // drop the payload reference immediately
+  flight_free_.push_back(slot);
+  return out;
+}
+
 void Backplane::set_failed(bool failed) {
   if (failed_ == failed) return;
   failed_ = failed;
@@ -71,16 +92,18 @@ void Backplane::transmit_hub(const Nic& sender, const Frame& frame) {
         rng_.next_below(static_cast<std::uint64_t>(config_.jitter.ns()) + 1)));
   }
   const std::uint64_t epoch = epoch_;
-  const MacAddr sender_mac = sender.mac();
   // Hub semantics: fan out to every attached NIC except the sender. The
-  // frame (and its shared payload) is copied once into the closure.
-  sim_.schedule_at(arrival, [this, frame, epoch, sender_mac] {
+  // frame (and its shared payload) parks in the flight pool; the delivery
+  // callback carries only the slot index, so scheduling never allocates.
+  const std::uint32_t slot = acquire_flight(frame, sender.mac());
+  sim_.schedule_at(arrival, [this, slot, epoch] {
+    const FlightFrame flight = take_flight(slot);
     if (epoch != epoch_ || failed_) {
       ++counters_.lost_in_flight;
       return;
     }
     for (Nic* nic : attached_) {
-      if (nic->mac() != sender_mac) nic->deliver(frame);
+      if (nic->mac() != flight.sender) nic->deliver(flight.frame);
     }
   });
 }
@@ -142,12 +165,14 @@ void Backplane::switch_deliver(Nic& receiver, const Frame& frame,
   }
   const std::uint64_t epoch = epoch_;
   Nic* target = &receiver;
-  sim_.schedule_at(arrival, [this, frame, epoch, target] {
+  const std::uint32_t slot = acquire_flight(frame, MacAddr{});
+  sim_.schedule_at(arrival, [this, slot, epoch, target] {
+    const FlightFrame flight = take_flight(slot);
     if (epoch != epoch_ || failed_) {
       ++counters_.lost_in_flight;
       return;
     }
-    target->deliver(frame);
+    target->deliver(flight.frame);
   });
 }
 

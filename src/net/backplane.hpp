@@ -22,11 +22,11 @@
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
 #include <vector>
 
 #include "net/nic.hpp"
 #include "sim/simulator.hpp"
+#include "util/flat_map.hpp"
 #include "util/rng.hpp"
 
 namespace drs::net {
@@ -95,11 +95,28 @@ class Backplane {
   util::Duration serialization_time(const Frame& frame) const;
 
   /// Observability hook invoked for every frame accepted onto the medium
-  /// (before loss is decided). Used by net::FrameTracer.
+  /// (before loss is decided). Used by net::FrameTracer. Registration-time
+  /// plumbing, not per-frame work.
+  // drs-lint: hotpath-alloc-ok(cold registration hook, set once per run)
   using TransmitHook = std::function<void(const Frame&, util::SimTime at)>;
   void set_transmit_hook(TransmitHook hook) { transmit_hook_ = std::move(hook); }
 
+  /// In-flight frame-pool capacity; stable once traffic peaks (asserted by
+  /// the zero-allocation instrumented test, see docs/PERFORMANCE.md).
+  std::size_t flight_slots() const { return flight_.size(); }
+
  private:
+  /// Pooled copy of a frame while it is in flight on the medium. Delivery
+  /// callbacks capture the slot index (EventCallback's inline capture is 48
+  /// bytes; a Frame alone is larger), and the slot is recycled at delivery.
+  struct FlightFrame {
+    Frame frame;
+    MacAddr sender{};
+  };
+
+  std::uint32_t acquire_flight(const Frame& frame, MacAddr sender);
+  FlightFrame take_flight(std::uint32_t slot);
+
   void transmit_hub(const Nic& sender, const Frame& frame);
   void transmit_switch(const Nic& sender, const Frame& frame);
   /// Schedules egress serialization + delivery to one NIC (switch path).
@@ -112,10 +129,10 @@ class Backplane {
   bool failed_ = false;
   util::SimTime busy_until_ = util::SimTime::zero();
   /// Per-port busy-until times (switch mode), keyed by NIC MAC value.
-  // drs-lint: unordered-ok(keyed lookup/clear only; never iterated)
-  std::unordered_map<std::uint64_t, util::SimTime> ingress_busy_;
-  // drs-lint: unordered-ok(keyed lookup/clear only; never iterated)
-  std::unordered_map<std::uint64_t, util::SimTime> egress_busy_;
+  util::FlatMap<std::uint64_t, util::SimTime> ingress_busy_;
+  util::FlatMap<std::uint64_t, util::SimTime> egress_busy_;
+  std::vector<FlightFrame> flight_;
+  std::vector<std::uint32_t> flight_free_;
   double busy_seconds_ = 0.0;
   /// Deliveries scheduled before the most recent failure are invalidated by
   /// comparing against this epoch counter.

@@ -6,29 +6,14 @@
 
 namespace drs::net {
 
-bool is_broadcast_ip(Ipv4Addr ip) {
-  if (ip.value() == 0xFFFFFFFFu) return true;
-  for (NetworkId k = 0; k < kNetworksPerHost; ++k) {
-    if (ip.value() == (cluster_subnet(k).value() | 0xFFu)) return true;
-  }
-  return false;
-}
-
 Host::Host(sim::Simulator& sim, NodeId id) : sim_(sim), id_(id) {}
 
 void Host::set_nic(NetworkId ifindex, std::unique_ptr<Nic> nic) {
   nics_.at(ifindex) = std::move(nic);
 }
 
-bool Host::owns_ip(Ipv4Addr addr) const {
-  for (const auto& nic : nics_) {
-    if (nic && nic->ip() == addr) return true;
-  }
-  return false;
-}
-
 void Host::register_handler(Protocol protocol, PacketHandler handler) {
-  handlers_[static_cast<std::uint8_t>(protocol)] = std::move(handler);
+  handlers_.at(static_cast<std::uint8_t>(protocol)) = std::move(handler);
 }
 
 bool Host::send(Packet packet) {
@@ -85,12 +70,12 @@ void Host::on_frame(NetworkId ifindex, const Frame& frame) {
 void Host::deliver_local(const Packet& packet, NetworkId in_ifindex) {
   ++counters_.received;
   if (tap_) tap_(packet, in_ifindex, /*forwarded=*/false);
-  auto it = handlers_.find(static_cast<std::uint8_t>(packet.protocol));
-  if (it == handlers_.end()) {
+  const auto index = static_cast<std::size_t>(packet.protocol);
+  if (index >= handlers_.size() || !handlers_[index]) {
     ++counters_.drop_no_handler;
     return;
   }
-  it->second(packet, in_ifindex);
+  handlers_[index](packet, in_ifindex);
 }
 
 void Host::forward(Packet packet) {

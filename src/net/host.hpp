@@ -21,10 +21,20 @@
 namespace drs::net {
 
 /// Receives packets addressed to this host (or broadcast) for one protocol.
+/// Bound once per protocol at service construction, then only invoked.
+// drs-lint: hotpath-alloc-ok(cold registration hook, bound once per protocol)
 using PacketHandler = std::function<void(const Packet&, NetworkId in_ifindex)>;
 
 /// True for the limited broadcast and the cluster subnet broadcasts.
-bool is_broadcast_ip(Ipv4Addr ip);
+/// Inline: checked once per received frame; with constexpr cluster_subnet
+/// this folds to a handful of constant compares.
+inline bool is_broadcast_ip(Ipv4Addr ip) {
+  if (ip.value() == 0xFFFFFFFFu) return true;
+  for (NetworkId k = 0; k < kNetworksPerHost; ++k) {
+    if (ip.value() == (cluster_subnet(k).value() | 0xFFu)) return true;
+  }
+  return false;
+}
 
 class Host : public FrameSink {
  public:
@@ -37,8 +47,14 @@ class Host : public FrameSink {
   Nic& nic(NetworkId ifindex) { return *nics_.at(ifindex); }
   const Nic& nic(NetworkId ifindex) const { return *nics_.at(ifindex); }
   Ipv4Addr ip(NetworkId ifindex) const { return nics_.at(ifindex)->ip(); }
-  /// True iff `addr` is one of this host's interface addresses.
-  bool owns_ip(Ipv4Addr addr) const;
+  /// True iff `addr` is one of this host's interface addresses. Inline:
+  /// checked once per received frame to pick deliver-vs-forward.
+  bool owns_ip(Ipv4Addr addr) const {
+    for (const auto& nic : nics_) {
+      if (nic && nic->ip() == addr) return true;
+    }
+    return false;
+  }
 
   RoutingTable& routing_table() { return routing_table_; }
   const RoutingTable& routing_table() const { return routing_table_; }
@@ -76,6 +92,7 @@ class Host : public FrameSink {
   void on_frame(NetworkId ifindex, const Frame& frame) override;
 
   /// Test/observability hook: sees every packet delivered or forwarded.
+  // drs-lint: hotpath-alloc-ok(cold test hook, set once per run)
   using Tap = std::function<void(const Packet&, NetworkId in_ifindex, bool forwarded)>;
   void set_tap(Tap tap) { tap_ = std::move(tap); }
 
@@ -94,8 +111,10 @@ class Host : public FrameSink {
   RoutingTable routing_table_;
   // drs-lint: unordered-ok(ARP lookups by destination IP only; never iterated)
   std::unordered_map<Ipv4Addr, MacAddr> arp_;
-  // drs-lint: unordered-ok(dispatch by protocol number only; never iterated)
-  std::unordered_map<std::uint8_t, PacketHandler> handlers_;
+  /// Kernel-style flat dispatch table indexed by protocol number. An empty
+  /// slot means "no handler" — checked on every delivery, so this stays an
+  /// array (no hashing) on the per-packet hot path.
+  std::array<PacketHandler, 8> handlers_;
   Counters counters_;
   Tap tap_;
   std::uint64_t next_packet_id_ = 1;

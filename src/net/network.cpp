@@ -6,6 +6,7 @@
 namespace drs::net {
 
 std::string ComponentRef::to_string() const {
+  // drs-lint: hotpath-alloc-ok(lazy debug rendering, never on the hot path)
   std::ostringstream out;
   if (kind == Kind::kNic) {
     out << "nic(node=" << node << ", net=" << static_cast<int>(network) << ")";

@@ -17,18 +17,4 @@ void Nic::send(const Frame& frame) {
   backplane_->transmit(*this, frame);
 }
 
-void Nic::deliver(const Frame& frame) {
-  if (rx_failed_) {
-    ++counters_.rx_dropped;
-    return;
-  }
-  if (!frame.dst.is_broadcast() && frame.dst != mac_) {
-    ++counters_.rx_filtered;
-    return;
-  }
-  ++counters_.rx_frames;
-  counters_.rx_bytes += frame.wire_bytes();
-  sink_.on_frame(ifindex_, frame);
-}
-
 }  // namespace drs::net

@@ -56,8 +56,22 @@ class Nic {
   void send(const Frame& frame);
 
   /// Called by the backplane on frame arrival; applies failure state and the
-  /// MAC filter before delivering to the host.
-  void deliver(const Frame& frame);
+  /// MAC filter before delivering to the host. Defined inline: on a hub every
+  /// frame fans out to every NIC, so the filter-reject path runs once per
+  /// (frame, NIC) pair and must not cost a function call.
+  void deliver(const Frame& frame) {
+    if (rx_failed_) {
+      ++counters_.rx_dropped;
+      return;
+    }
+    if (!frame.dst.is_broadcast() && frame.dst != mac_) {
+      ++counters_.rx_filtered;
+      return;
+    }
+    ++counters_.rx_frames;
+    counters_.rx_bytes += frame.wire_bytes();
+    sink_.on_frame(ifindex_, frame);
+  }
 
   struct Counters {
     std::uint64_t tx_frames = 0;

@@ -36,17 +36,50 @@ inline constexpr std::uint32_t kEthPreambleBytes = 8;    // preamble + SFD
 inline constexpr std::uint32_t kEthInterframeGapBytes = 12;
 inline constexpr std::uint32_t kIpHeaderBytes = 20;
 
+/// Concrete payload type, one tag per subclass. Protocol handlers downcast
+/// with an integer compare on this tag (see payload_cast) instead of a
+/// per-packet dynamic_cast — the delivery path runs millions of times per
+/// simulated second on a saturated hub, and the RTTI walk was measurable.
+enum class PayloadKind : std::uint8_t {
+  kOpaque,  // untagged (test fixtures); payload_cast never matches it
+  kIcmp,
+  kUdp,
+  kTcpSegment,
+  kDrsControl,
+  kRip,
+  kOspfHello,
+  kOspfLsa,
+};
+
 /// Base class for structured payloads. `wire_size` is the L4 size in bytes
 /// (headers of the payload's own protocol included, IP/Ethernet excluded).
 class Payload {
  public:
+  Payload() = default;
+  explicit Payload(PayloadKind kind) : kind_(kind) {}
   virtual ~Payload() = default;
   virtual std::uint32_t wire_size() const = 0;
   /// Short human-readable rendering for traces.
   virtual std::string describe() const = 0;
+
+  PayloadKind kind() const { return kind_; }
+
+ private:
+  PayloadKind kind_ = PayloadKind::kOpaque;
 };
 
 using PayloadPtr = std::shared_ptr<const Payload>;
+
+/// Tag-checked downcast: null when the packet carries no payload or one of a
+/// different concrete type. Each tagged payload declares `kKind` and stamps
+/// it in its constructor, so this is exactly dynamic_cast's semantics for
+/// the closed payload hierarchy at the cost of one byte compare.
+template <typename T>
+const T* payload_cast(const PayloadPtr& payload) {
+  const Payload* p = payload.get();
+  return (p != nullptr && p->kind() == T::kKind) ? static_cast<const T*>(p)
+                                                 : nullptr;
+}
 
 inline constexpr std::uint8_t kDefaultTtl = 16;
 

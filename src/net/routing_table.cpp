@@ -16,6 +16,7 @@ const char* to_string(RouteOrigin origin) {
 }
 
 std::string Route::to_string() const {
+  // drs-lint: hotpath-alloc-ok(lazy debug rendering, never on the hot path)
   std::ostringstream out;
   out << prefix.to_string() << "/" << static_cast<int>(prefix_len) << " dev nic"
       << static_cast<int>(out_ifindex);
@@ -87,6 +88,7 @@ std::optional<Route> RoutingTable::lookup(Ipv4Addr dst) const {
 }
 
 std::string RoutingTable::to_string() const {
+  // drs-lint: hotpath-alloc-ok(lazy debug rendering, never on the hot path)
   std::ostringstream out;
   for (const auto& r : routes_) out << r.to_string() << "\n";
   return out.str();

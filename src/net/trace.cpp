@@ -5,6 +5,7 @@
 namespace drs::net {
 
 std::string TraceRecord::to_string() const {
+  // drs-lint: hotpath-alloc-ok(lazy debug rendering, never on the hot path)
   std::ostringstream out;
   out << util::to_string(at) << " net" << static_cast<int>(network) << " "
       << src_ip.to_string() << " > " << dst_ip.to_string() << " "
@@ -55,6 +56,7 @@ std::vector<TraceRecord> FrameTracer::by_protocol(Protocol protocol) const {
 }
 
 std::string FrameTracer::dump() const {
+  // drs-lint: hotpath-alloc-ok(lazy debug rendering, never on the hot path)
   std::ostringstream out;
   for (const auto& record : records_) out << record.to_string() << "\n";
   return out.str();

@@ -4,11 +4,14 @@
 #include <sstream>
 
 #include "obs/macros.hpp"
+#include "util/arena.hpp"
 #include "util/log.hpp"
 
 namespace drs::proto {
 
 std::string IcmpPayload::describe() const {
+  // Debug-path only: nothing on the probe hot path calls describe().
+  // drs-lint: hotpath-alloc-ok(lazy debug rendering, never on the hot path)
   std::ostringstream out;
   out << (type == Type::kEchoRequest ? "echo-request" : "echo-reply")
       << " ident=" << ident << " seq=" << seq;
@@ -24,13 +27,16 @@ IcmpService::IcmpService(net::Host& host)
 }
 
 IcmpService::~IcmpService() {
-  for (auto& [seq, probe] : outstanding_) probe.timeout.cancel();
+  outstanding_.for_each(
+      [](std::uint16_t, Outstanding& probe) { probe.timeout.cancel(); });
 }
 
 std::uint16_t IcmpService::ping(net::Ipv4Addr dst, const PingOptions& options,
                                 PingCallback done) {
   const std::uint16_t seq = next_seq_++;
-  auto payload = std::make_shared<IcmpPayload>();
+  // Pooled: the payload and its control block come from the simulation arena
+  // and return to a free list when the last reference drops.
+  auto payload = util::make_pooled<IcmpPayload>(host_.simulator().arena());
   payload->type = IcmpPayload::Type::kEchoRequest;
   payload->ident = ident_;
   payload->seq = seq;
@@ -52,7 +58,7 @@ std::uint16_t IcmpService::ping(net::Ipv4Addr dst, const PingOptions& options,
   probe.sent_at = host_.simulator().now();
   probe.timeout = host_.simulator().schedule_after(
       options.timeout, [this, seq] { finish(seq, /*success=*/false); });
-  outstanding_.emplace(seq, std::move(probe));
+  outstanding_.insert(seq, std::move(probe));
 
   // A locally dropped probe (failed NIC, dead backplane) still runs its
   // timeout, so the caller always gets exactly one callback.
@@ -65,20 +71,20 @@ std::uint16_t IcmpService::ping(net::Ipv4Addr dst, const PingOptions& options,
 }
 
 bool IcmpService::cancel(std::uint16_t seq) {
-  auto it = outstanding_.find(seq);
-  if (it == outstanding_.end()) return false;
-  it->second.timeout.cancel();
-  outstanding_.erase(it);
+  Outstanding* probe = outstanding_.find(seq);
+  if (probe == nullptr) return false;
+  probe->timeout.cancel();
+  outstanding_.erase(seq);
   return true;
 }
 
 void IcmpService::on_packet(const net::Packet& packet, net::NetworkId in_ifindex) {
-  const auto* icmp = dynamic_cast<const IcmpPayload*>(packet.payload.get());
+  const IcmpPayload* icmp = net::payload_cast<IcmpPayload>(packet.payload);
   if (icmp == nullptr) return;
 
   if (icmp->type == IcmpPayload::Type::kEchoRequest) {
     ++answered_;
-    auto reply = std::make_shared<IcmpPayload>(*icmp);
+    auto reply = util::make_pooled<IcmpPayload>(host_.simulator().arena(), *icmp);
     reply->type = IcmpPayload::Type::kEchoReply;
 
     net::Packet out;
@@ -100,10 +106,10 @@ void IcmpService::on_packet(const net::Packet& packet, net::NetworkId in_ifindex
 }
 
 void IcmpService::finish(std::uint16_t seq, bool success) {
-  auto it = outstanding_.find(seq);
-  if (it == outstanding_.end()) return;  // late reply after timeout
-  Outstanding probe = std::move(it->second);
-  outstanding_.erase(it);
+  Outstanding* slot = outstanding_.find(seq);
+  if (slot == nullptr) return;  // late reply after timeout
+  Outstanding probe = std::move(*slot);
+  outstanding_.erase(seq);
   probe.timeout.cancel();
   if (!success) {
     ++timed_out_;

@@ -7,15 +7,18 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <optional>
-#include <unordered_map>
 
 #include "net/host.hpp"
+#include "util/flat_map.hpp"
+#include "util/inline_function.hpp"
 
 namespace drs::proto {
 
 struct IcmpPayload final : net::Payload {
+  static constexpr net::PayloadKind kKind = net::PayloadKind::kIcmp;
+  IcmpPayload() : net::Payload(kKind) {}
+
   enum class Type : std::uint8_t { kEchoRequest, kEchoReply };
 
   Type type = Type::kEchoRequest;
@@ -33,7 +36,9 @@ struct PingResult {
   std::uint16_t seq = 0;
 };
 
-using PingCallback = std::function<void(const PingResult&)>;
+/// Inline-capture completion callback (no heap allocation per probe); large
+/// capture state belongs in the caller, referenced by pointer or index.
+using PingCallback = util::InlineFunction<void(const PingResult&), 48>;
 
 struct PingOptions {
   util::Duration timeout = util::Duration::millis(200);
@@ -63,6 +68,10 @@ class IcmpService {
   std::uint64_t probes_timed_out() const { return timed_out_; }
   std::size_t outstanding() const { return outstanding_.size(); }
 
+  /// Pre-sizes the outstanding-probe table (DrsSystem passes the expected
+  /// concurrent probe count so warmup does not regrow it).
+  void reserve(std::size_t probes) { outstanding_.reserve(probes); }
+
  private:
   void on_packet(const net::Packet& packet, net::NetworkId in_ifindex);
   void finish(std::uint16_t seq, bool success);
@@ -76,8 +85,7 @@ class IcmpService {
   net::Host& host_;
   std::uint16_t ident_;
   std::uint16_t next_seq_ = 1;
-  // drs-lint: unordered-ok(lookup by seq; only iterated to cancel timers on reset, order unobservable)
-  std::unordered_map<std::uint16_t, Outstanding> outstanding_;
+  util::FlatMap<std::uint16_t, Outstanding> outstanding_;
   std::uint64_t answered_ = 0;
   std::uint64_t sent_ = 0;
   std::uint64_t timed_out_ = 0;

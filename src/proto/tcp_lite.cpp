@@ -5,11 +5,14 @@
 #include <sstream>
 
 #include "obs/macros.hpp"
+#include "util/arena.hpp"
 #include "util/log.hpp"
 
 namespace drs::proto {
 
 std::string TcpSegment::describe() const {
+  // Debug-path only: trace rendering, never called while segments move.
+  // drs-lint: hotpath-alloc-ok(lazy debug rendering, never on the hot path)
   std::ostringstream out;
   out << "tcp " << src_port << "->" << dst_port;
   if (syn) out << " SYN";
@@ -79,7 +82,8 @@ void TcpConnection::start_handshake() {
 
 void TcpConnection::send_segment(std::uint64_t seq, std::uint32_t len, bool syn,
                                  bool fin, bool is_retransmission) {
-  auto segment = std::make_shared<TcpSegment>();
+  auto segment =
+      util::make_pooled<TcpSegment>(service_.host().simulator().arena());
   segment->src_port = local_port_;
   segment->dst_port = peer_port_;
   segment->syn = syn;
@@ -121,7 +125,8 @@ void TcpConnection::send_segment(std::uint64_t seq, std::uint32_t len, bool syn,
 }
 
 void TcpConnection::send_pure_ack() {
-  auto segment = std::make_shared<TcpSegment>();
+  auto segment =
+      util::make_pooled<TcpSegment>(service_.host().simulator().arena());
   segment->src_port = local_port_;
   segment->dst_port = peer_port_;
   segment->ack = true;
@@ -132,7 +137,8 @@ void TcpConnection::send_pure_ack() {
 }
 
 void TcpConnection::send_rst() {
-  auto segment = std::make_shared<TcpSegment>();
+  auto segment =
+      util::make_pooled<TcpSegment>(service_.host().simulator().arena());
   segment->src_port = local_port_;
   segment->dst_port = peer_port_;
   segment->rst = true;
@@ -352,7 +358,7 @@ TcpConnectionPtr TcpService::connect(net::Ipv4Addr dst, std::uint16_t dst_port,
 
 void TcpService::on_packet(const net::Packet& packet, net::NetworkId in_ifindex) {
   (void)in_ifindex;
-  const auto* segment = dynamic_cast<const TcpSegment*>(packet.payload.get());
+  const TcpSegment* segment = net::payload_cast<TcpSegment>(packet.payload);
   if (segment == nullptr) return;
 
   const FlowKey key{packet.src.value(), segment->src_port, segment->dst_port};
@@ -380,7 +386,7 @@ void TcpService::on_packet(const net::Packet& packet, net::NetworkId in_ifindex)
   }
   // No matching flow or listener: refuse (except for RSTs, to avoid loops).
   if (!segment->rst) {
-    auto rst = std::make_shared<TcpSegment>();
+    auto rst = util::make_pooled<TcpSegment>(host_.simulator().arena());
     rst->src_port = segment->dst_port;
     rst->dst_port = segment->src_port;
     rst->rst = true;

@@ -22,6 +22,9 @@
 namespace drs::proto {
 
 struct TcpSegment final : net::Payload {
+  static constexpr net::PayloadKind kKind = net::PayloadKind::kTcpSegment;
+  TcpSegment() : net::Payload(kKind) {}
+
   std::uint16_t src_port = 0;
   std::uint16_t dst_port = 0;
   bool syn = false;
@@ -75,7 +78,10 @@ class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
   std::uint16_t peer_port() const { return peer_port_; }
 
   /// Fires with the cumulative in-order byte count each time data arrives.
+  /// Bound once when the workload wires up a flow, not per segment.
+  // drs-lint: hotpath-alloc-ok(cold workload hook, bound once per flow)
   std::function<void(std::uint64_t delivered_total)> on_receive;
+  // drs-lint: hotpath-alloc-ok(cold workload hook, bound once per flow)
   std::function<void(State)> on_state_change;
 
   struct Stats {
@@ -152,6 +158,7 @@ class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
 };
 
 using TcpConnectionPtr = std::shared_ptr<TcpConnection>;
+// drs-lint: hotpath-alloc-ok(cold listener registration, set once per port)
 using AcceptHandler = std::function<void(TcpConnectionPtr)>;
 
 class TcpService {

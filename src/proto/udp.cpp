@@ -2,9 +2,12 @@
 
 #include <sstream>
 
+#include "util/arena.hpp"
+
 namespace drs::proto {
 
 std::string UdpPayload::describe() const {
+  // drs-lint: hotpath-alloc-ok(lazy debug rendering, never on the hot path)
   std::ostringstream out;
   out << "udp " << src_port << "->" << dst_port << " " << data_bytes << "B";
   return out.str();
@@ -26,7 +29,7 @@ void UdpService::close(std::uint16_t port) { ports_.erase(port); }
 bool UdpService::send(net::Ipv4Addr dst, std::uint16_t dst_port,
                       std::uint16_t src_port, std::uint32_t data_bytes,
                       std::any message) {
-  auto payload = std::make_shared<UdpPayload>();
+  auto payload = util::make_pooled<UdpPayload>(host_.simulator().arena());
   payload->src_port = src_port;
   payload->dst_port = dst_port;
   payload->data_bytes = data_bytes;
@@ -40,7 +43,7 @@ bool UdpService::send(net::Ipv4Addr dst, std::uint16_t dst_port,
 }
 
 void UdpService::on_packet(const net::Packet& packet, net::NetworkId in_ifindex) {
-  const auto* udp = dynamic_cast<const UdpPayload*>(packet.payload.get());
+  const UdpPayload* udp = net::payload_cast<UdpPayload>(packet.payload);
   if (udp == nullptr) return;
   auto it = ports_.find(udp->dst_port);
   if (it == ports_.end()) {

@@ -15,6 +15,9 @@
 namespace drs::proto {
 
 struct UdpPayload final : net::Payload {
+  static constexpr net::PayloadKind kKind = net::PayloadKind::kUdp;
+  UdpPayload() : net::Payload(kKind) {}
+
   std::uint16_t src_port = 0;
   std::uint16_t dst_port = 0;
   std::uint32_t data_bytes = 0;
@@ -33,6 +36,7 @@ struct UdpDatagram {
   net::NetworkId in_ifindex = 0;
 };
 
+// drs-lint: hotpath-alloc-ok(cold port binding, registered once per service)
 using UdpHandler = std::function<void(const UdpDatagram&)>;
 
 class UdpService {

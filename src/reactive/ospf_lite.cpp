@@ -111,7 +111,7 @@ void OspfDaemon::originate_lsa() {
 }
 
 void OspfDaemon::on_packet(const net::Packet& packet, net::NetworkId in_ifindex) {
-  if (const auto* hello = dynamic_cast<const OspfHello*>(packet.payload.get())) {
+  if (const OspfHello* hello = net::payload_cast<OspfHello>(packet.payload)) {
     if (hello->advertiser == host_.id() || hello->advertiser >= node_count_) return;
     ++metrics_.hellos_received;
     last_heard_[static_cast<std::size_t>(hello->advertiser) *
@@ -126,7 +126,7 @@ void OspfDaemon::on_packet(const net::Packet& packet, net::NetworkId in_ifindex)
     return;
   }
 
-  if (const auto* lsa = dynamic_cast<const OspfLsa*>(packet.payload.get())) {
+  if (const OspfLsa* lsa = net::payload_cast<OspfLsa>(packet.payload)) {
     if (lsa->origin == host_.id() || lsa->origin >= node_count_) return;
     auto it = lsdb_.find(lsa->origin);
     if (it != lsdb_.end() && lsa->sequence <= it->second.sequence) {

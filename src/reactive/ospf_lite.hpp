@@ -37,6 +37,9 @@ struct OspfConfig {
 };
 
 struct OspfHello final : net::Payload {
+  static constexpr net::PayloadKind kKind = net::PayloadKind::kOspfHello;
+  OspfHello() : net::Payload(kKind) {}
+
   net::NodeId advertiser = 0;
   std::uint32_t wire_size() const override { return 44; }  // RFC 2328 sizing
   std::string describe() const override;
@@ -45,6 +48,9 @@ struct OspfHello final : net::Payload {
 /// Router-LSA: the originator's live adjacencies as one bitmask per network
 /// (supports clusters up to 64 nodes, matching the paper's evaluation range).
 struct OspfLsa final : net::Payload {
+  static constexpr net::PayloadKind kKind = net::PayloadKind::kOspfLsa;
+  OspfLsa() : net::Payload(kKind) {}
+
   net::NodeId origin = 0;
   std::uint32_t sequence = 0;
   std::array<std::uint64_t, net::kNetworksPerHost> neighbors{};

@@ -90,7 +90,7 @@ void RipDaemon::sweep_expired() {
 }
 
 void RipDaemon::on_packet(const net::Packet& packet, net::NetworkId in_ifindex) {
-  const auto* rip = dynamic_cast<const RipPayload*>(packet.payload.get());
+  const RipPayload* rip = net::payload_cast<RipPayload>(packet.payload);
   if (rip == nullptr || rip->advertiser == host_.id()) return;
   ++metrics_.advertisements_received;
   const util::SimTime now = host_.simulator().now();

@@ -35,6 +35,9 @@ struct RipAdvert {
 };
 
 struct RipPayload final : net::Payload {
+  static constexpr net::PayloadKind kKind = net::PayloadKind::kRip;
+  RipPayload() : net::Payload(kKind) {}
+
   net::NodeId advertiser = 0;
   std::vector<RipAdvert> entries;
 

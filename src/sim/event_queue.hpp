@@ -1,17 +1,39 @@
 // Pending-event set for the discrete-event engine.
 //
-// A binary min-heap ordered by (time, sequence number). The sequence number
-// makes ordering of same-timestamp events FIFO and therefore deterministic —
-// protocol races (e.g. two ROUTE_OFFERs arriving in the same tick) resolve
-// identically on every run. Cancellation is O(1) via tombstoning: cancelled
-// entries are skipped at pop time and compacted when they dominate the heap.
+// A hierarchical timing wheel (6 levels x 64 buckets, level-0 granule
+// 1024 ns) with a small (time, seq) min-heap in front of it and an overflow
+// calendar heap behind it:
+//
+//   push   places the event in the coarsest-fitting wheel bucket — O(1).
+//          Events earlier than the already-collected horizon go straight to
+//          the ready heap; events beyond the wheel's ~19 h coverage go to the
+//          overflow heap and are re-placed as the horizon advances.
+//   pop    drains the earliest level-0 bucket into the ready heap (cascading
+//          coarser buckets down as their windows arrive) and pops the heap.
+//          The heap only ever holds one 1024 ns window plus stragglers, so
+//          its depth is tiny compared to a global binary heap.
+//   cancel flips a generation bit in the slot table — O(1), no hashing. The
+//          physical bucket entry stays behind as a tombstone and is freed
+//          when its window is collected.
+//
+// Ordering is exactly the old binary heap's contract: (time, push sequence),
+// so same-timestamp events run FIFO and protocol races (e.g. two ROUTE_OFFERs
+// in the same tick) resolve identically on every run; golden traces are
+// byte-stable across the queue swap (test_sim_queue_property pins this
+// against a reference heap model).
+//
+// Event state lives in a generation-counted slot table indexed by the low
+// half of the EventId; the high half carries the slot's generation, so
+// is_pending/cancel are two array reads and stale ids can never alias a
+// recycled slot. Callbacks are util::InlineFunction — scheduling an event
+// performs no heap allocation (see docs/PERFORMANCE.md).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <unordered_set>
 #include <vector>
 
+#include "util/inline_function.hpp"
 #include "util/time.hpp"
 
 namespace drs::obs {
@@ -20,7 +42,10 @@ class Tracer;
 
 namespace drs::sim {
 
-using EventCallback = std::function<void()>;
+/// Inline-storage event callback: captures above 48 bytes fail to compile
+/// (static_assert in InlineFunction) instead of silently heap-allocating.
+/// Pool oversized state and capture an index instead.
+using EventCallback = util::InlineFunction<void(), 48>;
 using EventId = std::uint64_t;
 
 inline constexpr EventId kInvalidEventId = 0;
@@ -30,8 +55,8 @@ class EventQueue {
   /// Schedules `fn` at absolute time `t`; returns a cancellation id.
   EventId push(util::SimTime t, EventCallback fn);
 
-  /// Cancels a pending event. Returns false if the id is unknown, already
-  /// executed, or already cancelled.
+  /// Cancels a pending event. Returns false if the id is kInvalidEventId,
+  /// unknown, already executed, or already cancelled.
   bool cancel(EventId id);
 
   bool empty() const { return live_ == 0; }
@@ -48,10 +73,20 @@ class EventQueue {
   /// Removes and returns the earliest live event. Precondition: !empty().
   Popped pop();
 
-  std::uint64_t total_scheduled() const { return next_id_ - 1; }
+  std::uint64_t total_scheduled() const { return total_scheduled_; }
 
   /// True iff the id is scheduled and neither executed nor cancelled.
-  bool is_pending(EventId id) const { return pending_.count(id) > 0; }
+  /// kInvalidEventId is never pending.
+  bool is_pending(EventId id) const;
+
+  /// Pre-sizes the slot table and ready heap for `n` concurrently pending
+  /// events so warmup does not regrow them (DrsSystem passes its known
+  /// probe-schedule size).
+  void reserve(std::size_t n);
+
+  /// Slot-table capacity; stable once the pending-event population peaks
+  /// (the zero-allocation instrumented test asserts on this).
+  std::size_t slot_count() const { return slots_.size(); }
 
   /// Observability sink (usually forwarded by Simulator::set_tracer). The
   /// queue emits queue_high_water events when the live-event count first
@@ -60,28 +95,55 @@ class EventQueue {
   void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
  private:
-  struct Entry {
-    util::SimTime time;
-    EventId id;
+  static constexpr int kLevels = 6;
+  static constexpr int kBucketBits = 6;  // 64 buckets per level
+  static constexpr int kBuckets = 1 << kBucketBits;
+  static constexpr int kGranuleShift = 10;  // level-0 bucket spans 1024 ns
+  static constexpr std::uint32_t kNoSlot = 0xFFFFFFFFu;
+
+  static constexpr int shift_for(int level) {
+    return kGranuleShift + kBucketBits * level;
+  }
+
+  struct Slot {
+    std::int64_t time_ns = 0;
+    std::uint64_t seq = 0;       // push order; breaks same-time ties FIFO
+    std::uint32_t gen = 0;       // odd = live, even = dead; bumps on each flip
+    std::uint32_t next_free = kNoSlot;
     EventCallback fn;
   };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      // std::push_heap builds a max-heap, so "greater" means lower priority.
-      if (a.time != b.time) return a.time > b.time;
-      return a.id > b.id;  // ids are monotonically increasing => FIFO ties
-    }
+
+  /// Ordering key + slot index, copied flat so heap sifts touch no slots.
+  struct Ready {
+    std::int64_t time_ns;
+    std::uint64_t seq;
+    std::uint32_t slot;
   };
 
-  void skip_tombstones();
+  static EventId make_id(std::uint32_t slot, std::uint32_t gen) {
+    return (static_cast<EventId>(gen) << 32) | slot;
+  }
 
-  std::vector<Entry> heap_;
-  // drs-lint: unordered-ok(membership tests only; execution order comes from heap_ EventId tie-breaks)
-  std::unordered_set<EventId> pending_;    // scheduled, not executed/cancelled
-  // drs-lint: unordered-ok(membership tests only; never iterated)
-  std::unordered_set<EventId> cancelled_;  // tombstones still in heap_
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t slot);
+  void place(std::uint32_t slot, std::int64_t t, std::uint64_t seq);
+  void collect();
+  void drain_overflow();
+  void heap_push(std::vector<Ready>& heap, Ready entry);
+  Ready heap_pop(std::vector<Ready>& heap);
+
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = kNoSlot;
+
+  std::vector<Ready> ready_;       // min-heap over (time, seq); all < horizon_
+  std::vector<Ready> overflow_;    // min-heap; beyond the wheel's coverage
+  std::vector<std::uint32_t> buckets_[kLevels][kBuckets];
+  std::uint64_t occupied_[kLevels] = {};  // bit b set iff buckets_[l][b] nonempty
+  std::int64_t horizon_ = 0;  // wheel/overflow entries are all >= horizon_
+  std::size_t wheel_count_ = 0;  // physical entries in buckets (incl. tombstones)
+
   std::size_t live_ = 0;
-  EventId next_id_ = 1;
+  std::uint64_t total_scheduled_ = 0;
   obs::Tracer* tracer_ = nullptr;
   std::size_t high_water_next_ = 16;  // next power-of-two threshold to report
 };

@@ -7,9 +7,9 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 
 #include "sim/event_queue.hpp"
+#include "util/arena.hpp"
 #include "util/time.hpp"
 
 namespace drs::obs {
@@ -61,7 +61,27 @@ class EventHandle {
 
 class Simulator {
  public:
+  Simulator() = default;
+  /// Attaches an external arena instead of the simulator-owned one, so a
+  /// driver running many simulations back to back (chaos runner, MC
+  /// replications) can reset() it between runs and keep the warmed-up chunks.
+  /// Non-owning; the arena must outlive every payload allocated from it.
+  explicit Simulator(util::Arena* arena) {
+    if (arena != nullptr) arena_ = arena;
+  }
+
   util::SimTime now() const { return now_; }
+
+  /// The per-simulation allocation arena: payloads, frames and other
+  /// packet-lifetime objects come from here, not the heap (see
+  /// docs/PERFORMANCE.md). Single-threaded, like the simulator itself.
+  util::Arena& arena() { return *arena_; }
+
+  /// Pre-sizes the event queue for `n` concurrently pending events.
+  void reserve_events(std::size_t n) { queue_.reserve(n); }
+  /// Event-slot capacity (stable once the pending population peaks).
+  std::size_t event_slots() const { return queue_.slot_count(); }
+  std::uint64_t scheduled_events() const { return queue_.total_scheduled(); }
 
   /// Schedules at an absolute time; `t` must not be in the past.
   EventHandle schedule_at(util::SimTime t, EventCallback fn);
@@ -103,6 +123,8 @@ class Simulator {
   EventQueue queue_;
   std::uint64_t executed_ = 0;
   obs::Tracer* tracer_ = nullptr;
+  util::Arena owned_arena_;
+  util::Arena* arena_ = &owned_arena_;
 };
 
 }  // namespace drs::sim

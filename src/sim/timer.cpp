@@ -5,7 +5,7 @@
 namespace drs::sim {
 
 PeriodicTimer::PeriodicTimer(Simulator& sim, util::Duration period,
-                             std::function<void()> on_tick)
+                             EventCallback on_tick)
     : sim_(sim), period_(period), on_tick_(std::move(on_tick)) {
   assert(period_ > util::Duration::zero());
 }

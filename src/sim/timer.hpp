@@ -5,8 +5,6 @@
 // stop() prevents any further tick, even one already due at the current time.
 #pragma once
 
-#include <functional>
-
 #include "sim/simulator.hpp"
 
 namespace drs::sim {
@@ -14,8 +12,9 @@ namespace drs::sim {
 class PeriodicTimer {
  public:
   /// The callback runs every `period`, first at now + initial_delay.
-  /// Inactive until start() is called.
-  PeriodicTimer(Simulator& sim, util::Duration period, std::function<void()> on_tick);
+  /// Inactive until start() is called. The callback shares EventCallback's
+  /// inline-capture limit: ticks never heap-allocate.
+  PeriodicTimer(Simulator& sim, util::Duration period, EventCallback on_tick);
 
   ~PeriodicTimer() { stop(); }
   PeriodicTimer(const PeriodicTimer&) = delete;
@@ -36,7 +35,7 @@ class PeriodicTimer {
 
   Simulator& sim_;
   util::Duration period_;
-  std::function<void()> on_tick_;
+  EventCallback on_tick_;
   EventHandle pending_;
   bool running_ = false;
   std::uint64_t ticks_ = 0;

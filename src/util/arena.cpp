@@ -1,0 +1,70 @@
+#include "util/arena.hpp"
+
+#include <bit>
+#include <cassert>
+#include <cstring>
+
+namespace drs::util {
+
+Arena::Arena(std::size_t chunk_bytes) : chunk_bytes_(chunk_bytes) {
+  assert(chunk_bytes_ >= kMaxBlock);
+}
+
+std::size_t Arena::class_index(std::size_t bytes) {
+  const std::size_t rounded = bytes <= kMinBlock ? kMinBlock : std::bit_ceil(bytes);
+  return static_cast<std::size_t>(std::bit_width(rounded) -
+                                  std::bit_width(kMinBlock));
+}
+
+void* Arena::allocate(std::size_t bytes, std::size_t align) {
+  assert(align <= alignof(std::max_align_t));
+  (void)align;  // every block is 16-byte aligned by construction
+  ++stats_.allocations;
+  if (bytes > kMaxBlock) {
+    ++stats_.oversize;
+    // drs-lint: raw-new-ok(oversize fallback; freed in deallocate)
+    return ::operator new(bytes);
+  }
+  const std::size_t cls = class_index(bytes);
+  if (void* head = free_[cls]) {
+    ++stats_.freelist_hits;
+    std::memcpy(&free_[cls], head, sizeof(void*));
+    return head;
+  }
+  const std::size_t block = class_bytes(cls);
+  while (chunk_index_ >= chunks_.size() ||
+         offset_ + block > chunk_bytes_) {
+    if (chunk_index_ >= chunks_.size()) {
+      chunks_.push_back(std::make_unique<unsigned char[]>(chunk_bytes_));
+      ++stats_.chunks;
+      stats_.bytes_reserved += chunk_bytes_;
+      break;
+    }
+    ++chunk_index_;
+    offset_ = 0;
+  }
+  void* p = chunks_[chunk_index_].get() + offset_;
+  offset_ += block;
+  return p;
+}
+
+void Arena::deallocate(void* p, std::size_t bytes) {
+  if (p == nullptr) return;
+  if (bytes > kMaxBlock) {
+    // drs-lint: raw-new-ok(oversize fallback pairs with operator new above)
+    ::operator delete(p);
+    return;
+  }
+  const std::size_t cls = class_index(bytes);
+  std::memcpy(p, &free_[cls], sizeof(void*));
+  free_[cls] = p;
+}
+
+void Arena::reset() {
+  chunk_index_ = 0;
+  offset_ = 0;
+  for (void*& head : free_) head = nullptr;
+  ++stats_.resets;
+}
+
+}  // namespace drs::util

@@ -1,0 +1,114 @@
+// Chunked bump allocator with power-of-two free lists.
+//
+// Hot-path payload and frame objects live here instead of the global heap:
+// allocation is a free-list pop (or a pointer bump on a cold miss),
+// deallocation is a free-list push, and reset() rewinds the arena between
+// chaos campaigns / Monte-Carlo replications WITHOUT returning memory to the
+// OS — so a warmed-up simulation runs with zero heap traffic. The Stats
+// counters are exported through obs::MetricRegistry and are what the
+// zero-allocation instrumented test asserts on (docs/PERFORMANCE.md).
+//
+// Deliberately NOT thread-safe: each Simulator (and each chaos/MC worker
+// thread) owns its own arena. Sharing one across threads is a data race.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace drs::util {
+
+class Arena {
+ public:
+  struct Stats {
+    std::uint64_t chunks = 0;          // chunks ever allocated (never freed)
+    std::uint64_t bytes_reserved = 0;  // sum of chunk sizes
+    std::uint64_t allocations = 0;     // allocate() calls
+    std::uint64_t freelist_hits = 0;   // served from a size-class free list
+    std::uint64_t oversize = 0;        // larger than kMaxBlock, hit the heap
+    std::uint64_t resets = 0;          // reset() calls
+  };
+
+  explicit Arena(std::size_t chunk_bytes = 64 * 1024);
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns storage for `bytes` bytes. Alignment must be fundamental
+  /// (<= alignof(std::max_align_t)); every block is 16-byte aligned.
+  void* allocate(std::size_t bytes, std::size_t align);
+
+  /// Returns a block to its size-class free list. `bytes` must match the
+  /// allocate() call. Safe to call after reset() only for blocks allocated
+  /// after that reset.
+  void deallocate(void* p, std::size_t bytes);
+
+  /// Rewinds the arena to empty, retaining every chunk for reuse.
+  /// Precondition: all outstanding allocations are dead.
+  void reset();
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  static constexpr std::size_t kMinBlock = 16;
+  static constexpr std::size_t kMaxBlock = 4096;
+  static constexpr std::size_t kClasses = 9;  // 16, 32, ..., 4096
+
+  static std::size_t class_index(std::size_t bytes);
+  static std::size_t class_bytes(std::size_t index) { return kMinBlock << index; }
+
+  std::size_t chunk_bytes_;
+  std::vector<std::unique_ptr<unsigned char[]>> chunks_;
+  std::size_t chunk_index_ = 0;  // chunk currently being bumped
+  std::size_t offset_ = 0;       // bump offset within that chunk
+  void* free_[kClasses] = {};    // intrusive singly-linked free lists
+  Stats stats_;
+};
+
+/// Minimal std allocator over an Arena, so std::allocate_shared can place a
+/// payload and its control block in one arena block while call sites keep
+/// handing out plain shared_ptr.
+template <typename T>
+class PoolAllocator {
+ public:
+  using value_type = T;
+
+  explicit PoolAllocator(Arena& arena) : arena_(&arena) {}
+
+  template <typename U>
+  PoolAllocator(const PoolAllocator<U>& other)  // NOLINT(google-explicit-constructor)
+      : arena_(other.arena()) {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(arena_->allocate(n * sizeof(T), alignof(T)));
+  }
+
+  void deallocate(T* p, std::size_t n) {
+    arena_->deallocate(p, n * sizeof(T));
+  }
+
+  Arena* arena() const { return arena_; }
+
+  template <typename U>
+  bool operator==(const PoolAllocator<U>& other) const {
+    return arena_ == other.arena();
+  }
+  template <typename U>
+  bool operator!=(const PoolAllocator<U>& other) const {
+    return arena_ != other.arena();
+  }
+
+ private:
+  Arena* arena_;
+};
+
+/// make_shared, but the object + control block come from the arena. The
+/// returned shared_ptr must not outlive the arena (it is released when the
+/// last reference drops, which returns the block to a free list).
+template <typename T, typename... A>
+std::shared_ptr<T> make_pooled(Arena& arena, A&&... args) {
+  return std::allocate_shared<T>(PoolAllocator<T>(arena),
+                                 std::forward<A>(args)...);
+}
+
+}  // namespace drs::util

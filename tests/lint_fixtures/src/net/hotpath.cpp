@@ -1,0 +1,30 @@
+// hotpath-alloc fixture: three heap-allocating idioms fire in a declared
+// hotpath-module, and one annotated cold site is suppressed.
+#include <functional>
+#include <memory>
+#include <sstream>
+#include <string>
+
+namespace fixture {
+
+struct Packet {
+  int bytes = 0;
+};
+
+// Fires: std::function type-erases onto the heap.
+std::function<void(const Packet&)> handler;
+
+std::string describe(const Packet& packet) {
+  std::ostringstream out;  // fires: per-use stream allocation
+  out << "packet " << packet.bytes << "B";
+  return out.str();
+}
+
+std::string label() {
+  return std::string("hot");  // fires: std::string temporary
+}
+
+// drs-lint: hotpath-alloc-ok(fixture cold site; proves the annotation works)
+std::shared_ptr<Packet> make_packet() { return std::make_shared<Packet>(); }
+
+}  // namespace fixture

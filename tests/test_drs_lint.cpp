@@ -78,6 +78,7 @@ TEST(DrsLint, FixtureTreeFiresEveryRuleWithExactCounts) {
       {{"using-namespace", false}, 1},
       {{"float", false}, 1},
       {{"raw-new", false}, 2},
+      {{"hotpath-alloc", false}, 3}, {{"hotpath-alloc", true}, 1},
       {{"nodiscard", false}, 1},
       {{"bad-suppression", false}, 2},
       {{"layer", false}, 1},
@@ -85,9 +86,9 @@ TEST(DrsLint, FixtureTreeFiresEveryRuleWithExactCounts) {
       {{"dead-header", false}, 1},
   };
   EXPECT_EQ(counts, expected) << result.out;
-  EXPECT_NE(result.out.find("\"total\":20"), std::string::npos);
-  EXPECT_NE(result.out.find("\"suppressed\":2"), std::string::npos);
-  EXPECT_NE(result.out.find("\"unsuppressed\":18"), std::string::npos);
+  EXPECT_NE(result.out.find("\"total\":24"), std::string::npos);
+  EXPECT_NE(result.out.find("\"suppressed\":3"), std::string::npos);
+  EXPECT_NE(result.out.find("\"unsuppressed\":21"), std::string::npos);
 }
 
 TEST(DrsLint, FindingsCarryFileLineAndRule) {
@@ -101,6 +102,8 @@ TEST(DrsLint, FindingsCarryFileLineAndRule) {
   EXPECT_NE(result.out.find("\"rule\":\"dead-header\",\"file\":\"src/dead/orphan.hpp\""),
             std::string::npos);
   EXPECT_NE(result.out.find("\"rule\":\"pragma-once\",\"file\":\"src/core/no_pragma.hpp\""),
+            std::string::npos);
+  EXPECT_NE(result.out.find("\"rule\":\"hotpath-alloc\",\"file\":\"src/net/hotpath.cpp\""),
             std::string::npos);
 }
 
@@ -128,7 +131,8 @@ TEST(DrsLint, RuleCatalogIsStable) {
   ASSERT_EQ(result.exit_code, 0);
   for (const char* rule :
        {"banned", "unordered", "layer", "cycle", "dead-header", "pragma-once",
-        "using-namespace", "float", "raw-new", "nodiscard", "bad-suppression"}) {
+        "using-namespace", "float", "raw-new", "hotpath-alloc", "nodiscard",
+        "bad-suppression"}) {
     EXPECT_NE(result.out.find(rule), std::string::npos) << rule;
   }
 }

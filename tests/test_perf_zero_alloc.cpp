@@ -1,0 +1,127 @@
+// Steady-state allocation audit: after warmup, the probe hot path must run
+// entirely out of recycled storage — no new arena chunks, no event-slot
+// growth, no flight-pool growth — while probes keep flowing. The counters
+// come from DrsSystem::collect_metrics, so this test also pins the metric
+// names docs/PERFORMANCE.md documents.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "core/builder.hpp"
+#include "core/system.hpp"
+#include "net/network.hpp"
+#include "obs/metrics.hpp"
+#include "sim/simulator.hpp"
+#include "util/arena.hpp"
+
+namespace drs {
+namespace {
+
+struct AllocSnapshot {
+  std::int64_t arena_chunks = 0;
+  std::int64_t arena_bytes = 0;
+  std::int64_t arena_oversize = 0;
+  std::int64_t event_slots = 0;
+  std::int64_t flight_slots_a = 0;
+  std::int64_t flight_slots_b = 0;
+  std::int64_t probes_sent = 0;
+  std::int64_t arena_allocations = 0;
+  std::int64_t arena_freelist_hits = 0;
+};
+
+AllocSnapshot snapshot(const core::DrsSystem& system) {
+  // A fresh registry per snapshot: counters in collect_metrics are absolute
+  // re-adds, so reusing one registry would double-count.
+  obs::MetricRegistry registry;
+  system.collect_metrics(registry);
+  AllocSnapshot snap;
+  snap.arena_chunks = registry.gauge("arena.chunks").value();
+  snap.arena_bytes = registry.gauge("arena.bytes_reserved").value();
+  snap.arena_oversize = registry.counter("arena.oversize").value();
+  snap.event_slots = registry.gauge("sim.event_slots").value();
+  snap.flight_slots_a =
+      registry.gauge(obs::MetricRegistry::scoped("backplane", 0, "flight_slots"))
+          .value();
+  snap.flight_slots_b =
+      registry.gauge(obs::MetricRegistry::scoped("backplane", 1, "flight_slots"))
+          .value();
+  snap.arena_allocations = registry.counter("arena.allocations").value();
+  snap.arena_freelist_hits = registry.counter("arena.freelist_hits").value();
+  for (std::uint64_t node = 0; node < 4; ++node) {
+    snap.probes_sent +=
+        registry
+            .counter(obs::MetricRegistry::scoped("daemon", node, "probes_sent"))
+            .value();
+  }
+  return snap;
+}
+
+TEST(ZeroAllocSteadyState, ProbeCyclesReuseWarmedUpStorage) {
+  sim::Simulator sim;
+  net::ClusterNetwork network(sim, {.node_count = 4, .backplane = {}});
+  core::DrsSystem system(network, core::DrsConfig{});
+  system.start();
+
+  // Warmup: several full monitoring cycles so every pool reaches its peak —
+  // probe payloads, event slots, in-flight frames, outstanding tables.
+  sim.run_for(util::Duration::seconds(2));
+  const AllocSnapshot warm = snapshot(system);
+  ASSERT_GT(warm.probes_sent, 0);
+  ASSERT_GT(warm.arena_chunks, 0);
+
+  // Steady state: 5 more seconds of probing must not grow anything.
+  sim.run_for(util::Duration::seconds(5));
+  const AllocSnapshot steady = snapshot(system);
+
+  EXPECT_GT(steady.probes_sent, warm.probes_sent) << "no probe traffic ran";
+  EXPECT_EQ(steady.arena_chunks, warm.arena_chunks)
+      << "arena grew new chunks after warmup";
+  EXPECT_EQ(steady.arena_bytes, warm.arena_bytes);
+  EXPECT_EQ(steady.arena_oversize, warm.arena_oversize)
+      << "a hot-path allocation bypassed the size classes";
+  EXPECT_EQ(steady.event_slots, warm.event_slots)
+      << "the event queue grew its slot table after warmup";
+  EXPECT_EQ(steady.flight_slots_a, warm.flight_slots_a)
+      << "backplane A grew its in-flight frame pool after warmup";
+  EXPECT_EQ(steady.flight_slots_b, warm.flight_slots_b)
+      << "backplane B grew its in-flight frame pool after warmup";
+
+  // The pool is being exercised, not bypassed: allocations keep happening
+  // and (once warm) they are served from the free lists.
+  EXPECT_GT(steady.arena_allocations, warm.arena_allocations);
+  EXPECT_GT(steady.arena_freelist_hits, warm.arena_freelist_hits);
+}
+
+TEST(ZeroAllocSteadyState, ArenaResetRetainsChunksAcrossRuns) {
+  // The chaos runner's per-worker pattern: reset() between campaigns must
+  // rewind without releasing memory, so run 2 reuses run 1's chunks.
+  util::Arena arena;
+  {
+    sim::Simulator sim(&arena);
+    net::ClusterNetwork network(sim, {.node_count = 4, .backplane = {}});
+    core::DrsSystem system(network, core::DrsConfig{});
+    system.start();
+    sim.run_for(util::Duration::seconds(1));
+  }
+  const std::uint64_t chunks_after_first = arena.stats().chunks;
+  const std::uint64_t bytes_after_first = arena.stats().bytes_reserved;
+  ASSERT_GT(chunks_after_first, 0u);
+
+  arena.reset();
+  EXPECT_EQ(arena.stats().chunks, chunks_after_first);
+  {
+    sim::Simulator sim(&arena);
+    net::ClusterNetwork network(sim, {.node_count = 4, .backplane = {}});
+    core::DrsSystem system(network, core::DrsConfig{});
+    system.start();
+    sim.run_for(util::Duration::seconds(1));
+  }
+  EXPECT_EQ(arena.stats().chunks, chunks_after_first)
+      << "an identical second run should fit the first run's chunks";
+  EXPECT_EQ(arena.stats().bytes_reserved, bytes_after_first);
+  EXPECT_EQ(arena.stats().resets, 1u);
+}
+
+}  // namespace
+}  // namespace drs

@@ -55,6 +55,27 @@ TEST(EventQueue, CancelUnknownOrInvalidFails) {
   EXPECT_FALSE(q.cancel(12345));
 }
 
+TEST(EventQueue, InvalidIdIsNeverPendingOrCancellable) {
+  // Regression: kInvalidEventId (0) is the "never scheduled" sentinel used
+  // by default-constructed EventHandles. It must stay inert no matter what
+  // the queue holds — in particular it must not alias slot 0 of the slot
+  // table, which a real event occupies below.
+  EventQueue q;
+  EXPECT_FALSE(q.is_pending(kInvalidEventId));
+  EXPECT_FALSE(q.cancel(kInvalidEventId));
+
+  const EventId id = q.push(at(10), [] {});
+  ASSERT_NE(id, kInvalidEventId);
+  EXPECT_FALSE(q.is_pending(kInvalidEventId));
+  EXPECT_FALSE(q.cancel(kInvalidEventId));
+  EXPECT_TRUE(q.is_pending(id));
+  EXPECT_EQ(q.size(), 1u);
+
+  q.pop();
+  EXPECT_FALSE(q.is_pending(kInvalidEventId));
+  EXPECT_FALSE(q.cancel(kInvalidEventId));
+}
+
 TEST(EventQueue, CancelExecutedFails) {
   EventQueue q;
   const EventId id = q.push(at(10), [] {});

@@ -1,0 +1,161 @@
+// Differential property test: the hierarchical-timing-wheel EventQueue must
+// be observationally identical to a plain binary-heap reference model under
+// randomized push/cancel/pop workloads — same pop order (time, then FIFO
+// insertion order), same size, same total_scheduled. The time distribution
+// deliberately exercises every placement path: dense near-term times (level
+// 0 buckets), same-timestamp bursts (FIFO ties), mid-range times (coarser
+// levels that cascade), far-future times (the overflow heap), and times at
+// or below the advancing horizon (direct-to-ready pushes).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "util/rng.hpp"
+
+namespace drs::sim {
+namespace {
+
+using util::SimTime;
+
+struct ModelEvent {
+  std::int64_t time_ns = 0;
+  std::uint64_t seq = 0;  // push order; breaks ties FIFO
+  EventId id = kInvalidEventId;
+};
+
+/// Sorted-vector reference model: O(n) per op, obviously correct.
+class ReferenceQueue {
+ public:
+  void push(std::int64_t time_ns, EventId id) {
+    events_.push_back(ModelEvent{time_ns, ++pushed_, id});
+  }
+
+  bool cancel(EventId id) {
+    for (auto it = events_.begin(); it != events_.end(); ++it) {
+      if (it->id == id) {
+        events_.erase(it);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  ModelEvent pop() {
+    auto best = events_.begin();
+    for (auto it = events_.begin(); it != events_.end(); ++it) {
+      if (it->time_ns < best->time_ns ||
+          (it->time_ns == best->time_ns && it->seq < best->seq)) {
+        best = it;
+      }
+    }
+    const ModelEvent out = *best;
+    events_.erase(best);
+    return out;
+  }
+
+  bool empty() const { return events_.empty(); }
+  std::size_t size() const { return events_.size(); }
+  std::uint64_t pushed() const { return pushed_; }
+  EventId random_live(util::Rng& rng) const {
+    return events_[static_cast<std::size_t>(
+                       rng.next_below(events_.size()))]
+        .id;
+  }
+
+ private:
+  std::vector<ModelEvent> events_;
+  std::uint64_t pushed_ = 0;
+};
+
+/// Draws a push time relative to the latest popped time so the workload
+/// keeps straddling the wheel horizon as it advances.
+std::int64_t draw_time(util::Rng& rng, std::int64_t watermark) {
+  switch (rng.next_below(8)) {
+    case 0:  // same-time burst: FIFO tie-order coverage
+      return watermark + 1000;
+    case 1:  // at or before the horizon: direct-to-ready path
+      return watermark;
+    case 2:  // far future: overflow heap (beyond the wheel's ~2^46 ns span)
+      return watermark + (std::int64_t{1} << 47) +
+             static_cast<std::int64_t>(rng.next_below(1u << 20));
+    case 3:  // mid-range: coarse levels that must cascade down
+      return watermark + static_cast<std::int64_t>(
+                             rng.next_below(std::uint64_t{1} << 34));
+    default:  // dense near-term traffic
+      return watermark +
+             static_cast<std::int64_t>(rng.next_below(1u << 16));
+  }
+}
+
+void run_differential(std::uint64_t seed, int ops) {
+  EventQueue queue;
+  ReferenceQueue model;
+  util::Rng rng(seed);
+  std::vector<EventId> retired;  // popped or cancelled: cancel must fail
+  std::int64_t watermark = 0;
+
+  for (int op = 0; op < ops; ++op) {
+    const std::uint64_t roll = rng.next_below(10);
+    if (roll < 5 || model.empty()) {
+      const std::int64_t t = draw_time(rng, watermark);
+      const EventId id = queue.push(SimTime::from_ns(t), [] {});
+      ASSERT_NE(id, kInvalidEventId);
+      model.push(t, id);
+    } else if (roll < 7) {
+      const EventId id = model.random_live(rng);
+      ASSERT_TRUE(queue.is_pending(id));
+      ASSERT_TRUE(queue.cancel(id));
+      ASSERT_TRUE(model.cancel(id));
+      retired.push_back(id);
+    } else {
+      const ModelEvent expected = model.pop();
+      const EventQueue::Popped got = queue.pop();
+      ASSERT_EQ(got.time.ns(), expected.time_ns) << "op " << op;
+      ASSERT_EQ(got.id, expected.id) << "op " << op;
+      watermark = std::max(watermark, expected.time_ns);
+      retired.push_back(expected.id);
+    }
+    ASSERT_EQ(queue.size(), model.size());
+    ASSERT_EQ(queue.total_scheduled(), model.pushed());
+    if (!retired.empty() && rng.next_below(4) == 0) {
+      const EventId stale = retired[static_cast<std::size_t>(
+          rng.next_below(retired.size()))];
+      EXPECT_FALSE(queue.is_pending(stale));
+      EXPECT_FALSE(queue.cancel(stale));
+    }
+  }
+
+  // Drain: the full remaining pop order must match the model.
+  while (!model.empty()) {
+    const ModelEvent expected = model.pop();
+    const EventQueue::Popped got = queue.pop();
+    ASSERT_EQ(got.time.ns(), expected.time_ns);
+    ASSERT_EQ(got.id, expected.id);
+  }
+  EXPECT_TRUE(queue.empty());
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(EventQueueProperty, MatchesReferenceModelSeed1) {
+  run_differential(0xD1FF1u, 10000);
+}
+
+TEST(EventQueueProperty, MatchesReferenceModelSeed2) {
+  run_differential(0xD1FF2u, 10000);
+}
+
+TEST(EventQueueProperty, MatchesReferenceModelSeed3) {
+  run_differential(0xD1FF3u, 10000);
+}
+
+TEST(EventQueueProperty, ManySeedsShortRuns) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    run_differential(seed * 0x9E3779B9u, 500);
+  }
+}
+
+}  // namespace
+}  // namespace drs::sim

@@ -68,6 +68,8 @@ struct Config {
   std::vector<std::pair<std::string, std::string>> file_modules;
   std::vector<std::string> banned_allow;  // scan-relative path prefixes
   std::set<std::string> nodiscard_modules;
+  // Modules whose files may not allocate on the hot path (hotpath-alloc).
+  std::set<std::string> hotpath_modules;
   std::string path;  // where the config was read from (for diagnostics)
 };
 

@@ -19,6 +19,7 @@ const std::vector<std::string> kRules = {
     "using-namespace", // using namespace in a header
     "float",           // float in src (doubles only: bit-exact cache keys)
     "raw-new",         // raw new/delete
+    "hotpath-alloc",   // heap-allocating idiom in a hot-path module
     "nodiscard",       // Result/validation function missing [[nodiscard]]
     "bad-suppression", // malformed drs-lint comment
 };
@@ -148,6 +149,55 @@ void check_unordered(const SourceFile& file, Emitter& out) {
   }
 }
 
+/// Heap-allocating idioms are banned in the hot-path modules (the event
+/// loop, the packet path, the protocol services): std::function type-erases
+/// into the heap, make_shared allocates per call (util::make_pooled is the
+/// sanctioned arena-backed spelling), and ostringstream / std::string
+/// temporaries allocate per use. Cold registration hooks and debug-only
+/// formatters carry a 'hotpath-alloc-ok' annotation explaining why they
+/// never run per event.
+void check_hotpath_alloc(const Config& config, const SourceFile& file,
+                         Emitter& out) {
+  if (config.hotpath_modules.count(file.module) == 0) return;
+  for (std::size_t li = 0; li < file.lines.size(); ++li) {
+    const std::string& code = file.lines[li].code;
+    if (trim(code).rfind('#', 0) == 0) continue;  // #include <functional>
+    const int line_no = static_cast<int>(li) + 1;
+    std::size_t pos = find_token(code, "function");
+    while (pos != std::string::npos) {
+      if (pos + 8 < code.size() && code[pos + 8] == '<') {
+        out.emit("hotpath-alloc", line_no,
+                 "std::function type-erases captures onto the heap; use "
+                 "util::InlineFunction on the hot path, or annotate a cold "
+                 "hook with '// drs-lint: hotpath-alloc-ok(<why cold>)'");
+      }
+      pos = find_token(code, "function", pos + 1);
+    }
+    if (find_token(code, "make_shared") != std::string::npos) {
+      out.emit("hotpath-alloc", line_no,
+               "std::make_shared allocates per call; use "
+               "util::make_pooled(arena, ...) so payloads recycle through "
+               "the simulation arena, or annotate a cold site");
+    }
+    if (find_token(code, "ostringstream") != std::string::npos) {
+      out.emit("hotpath-alloc", line_no,
+               "ostringstream allocates per use; keep formatting in "
+               "debug-only code and annotate it, or build output off the "
+               "hot path");
+    }
+    pos = find_token(code, "string");
+    while (pos != std::string::npos) {
+      const std::size_t end = pos + 6;
+      if (end < code.size() && (code[end] == '(' || code[end] == '{')) {
+        out.emit("hotpath-alloc", line_no,
+                 "std::string temporary allocates; hot-path code should "
+                 "pass string_view / const char* or annotate a cold site");
+      }
+      pos = find_token(code, "string", pos + 1);
+    }
+  }
+}
+
 // --- API hygiene -----------------------------------------------------------
 
 void check_pragma_once(const SourceFile& file, Emitter& out) {
@@ -188,6 +238,7 @@ void check_float(const SourceFile& file, Emitter& out) {
 void check_raw_new(const SourceFile& file, Emitter& out) {
   for (std::size_t li = 0; li < file.lines.size(); ++li) {
     const std::string& code = file.lines[li].code;
+    if (trim(code).rfind('#', 0) == 0) continue;  // #include <new>
     std::size_t pos = find_token(code, "new");
     while (pos != std::string::npos) {
       out.emit("raw-new", static_cast<int>(li) + 1,
@@ -390,6 +441,7 @@ std::vector<Finding> run_rules(const Config& config,
     check_using_namespace(file, out);
     check_float(file, out);
     check_raw_new(file, out);
+    check_hotpath_alloc(config, file, out);
     check_nodiscard(config, file, out);
     for (const auto& [line, message] : file.bad_suppressions) {
       out.emit("bad-suppression", line, message);

@@ -311,6 +311,10 @@ bool parse_config(const std::string& path, Config& config, std::string& error) {
       std::string name;
       if (!(ss >> name)) return fail("nodiscard-module needs a module name");
       config.nodiscard_modules.insert(name);
+    } else if (directive == "hotpath-module") {
+      std::string name;
+      if (!(ss >> name)) return fail("hotpath-module needs a module name");
+      config.hotpath_modules.insert(name);
     } else {
       return fail("unknown directive '" + directive + "'");
     }
