@@ -1,11 +1,15 @@
 // Simulation-core microbenchmarks: the event-throughput numbers everything
 // else multiplies (docs/PERFORMANCE.md).
 //
-// Three tiers, cheapest first:
+// Four tiers, cheapest first:
 //   queue       raw EventQueue schedule/pop and schedule/cancel loops
 //   probe storm a full DRS cluster (N daemons full-mesh probing on two
 //               networks) run for a fixed simulated span — the N=90 shape is
-//               the paper's proactive-cost anchor and the tracked CI number
+//               the paper's proactive-cost anchor and a tracked CI number;
+//               N=1024 (at a reduced span) stresses the batched sweep far
+//               past the deployed scale
+//   fleet       the paper's whole deployment — 27 clusters of 8 plus the
+//               inter-cluster relay mesh — on one simulator
 //   chaos batch a sequential slice of the chaos-campaign family, i.e. the
 //               workload the survivability results are produced by
 //
@@ -24,6 +28,7 @@
 
 #include "chaos/campaign.hpp"
 #include "chaos/runner.hpp"
+#include "cluster/fleet.hpp"
 #include "core/system.hpp"
 #include "net/network.hpp"
 #include "sim/simulator.hpp"
@@ -138,7 +143,42 @@ StormNumbers run_probe_storm(std::uint16_t nodes, util::Duration span) {
   return numbers;
 }
 
-// --- tier 3: chaos-campaign batch -------------------------------------------
+// --- tier 3: fleet topology -------------------------------------------------
+
+struct FleetNumbers {
+  std::uint16_t clusters = 0;
+  std::uint16_t nodes_per_cluster = 0;
+  std::uint64_t sim_events = 0;
+  double wall_seconds = 0.0;
+  double events_per_sec = 0.0;
+};
+
+FleetNumbers run_fleet(std::uint16_t clusters, std::uint16_t nodes,
+                       util::Duration span) {
+  sim::Simulator sim;
+  cluster::FleetConfig config;
+  config.clusters = clusters;
+  config.nodes_per_cluster = nodes;
+  cluster::Fleet fleet(sim, config);
+  fleet.start();
+  const double t0 = now_seconds();
+  fleet.settle(span);
+  const double t1 = now_seconds();
+  fleet.stop();
+
+  FleetNumbers numbers;
+  numbers.clusters = clusters;
+  numbers.nodes_per_cluster = nodes;
+  numbers.sim_events = sim.executed_events();
+  numbers.wall_seconds = t1 - t0;
+  numbers.events_per_sec =
+      numbers.wall_seconds > 0.0
+          ? static_cast<double>(numbers.sim_events) / numbers.wall_seconds
+          : 0.0;
+  return numbers;
+}
+
+// --- tier 4: chaos-campaign batch -------------------------------------------
 
 struct ChaosNumbers {
   std::uint64_t campaigns = 0;
@@ -171,10 +211,10 @@ ChaosNumbers run_chaos_batch(std::uint64_t seed, std::uint64_t campaigns) {
 
 std::string to_json(const QueueNumbers& queue,
                     const std::vector<StormNumbers>& storms,
-                    const ChaosNumbers& chaos_batch) {
+                    const FleetNumbers& fleet, const ChaosNumbers& chaos_batch) {
   util::JsonWriter json;
   json.begin_object();
-  json.field("schema", "bench_simcore.v1");
+  json.field("schema", "bench_simcore.v2");
   json.key("queue");
   json.begin_object()
       .field("push_pop_ns_per_event", queue.push_pop_ns)
@@ -192,6 +232,15 @@ std::string to_json(const QueueNumbers& queue,
         .end_object();
   }
   json.end_array();
+  json.key("fleet");
+  json.begin_object()
+      .field("clusters", static_cast<std::uint64_t>(fleet.clusters))
+      .field("nodes_per_cluster",
+             static_cast<std::uint64_t>(fleet.nodes_per_cluster))
+      .field("sim_events", fleet.sim_events)
+      .field("wall_seconds", fleet.wall_seconds)
+      .field("events_per_sec", fleet.events_per_sec)
+      .end_object();
   json.key("chaos_batch");
   json.begin_object()
       .field("campaigns", chaos_batch.campaigns)
@@ -258,9 +307,13 @@ int main(int argc, char** argv) {
 
   std::vector<StormNumbers> storms;
   util::Table table({"nodes", "sim events", "wall ms", "events/s"});
-  for (const std::uint16_t nodes : {std::uint16_t{8}, std::uint16_t{32},
-                                    std::uint16_t{90}, std::uint16_t{256}}) {
-    storms.push_back(run_probe_storm(nodes, span));
+  for (const std::uint16_t nodes :
+       {std::uint16_t{8}, std::uint16_t{32}, std::uint16_t{90},
+        std::uint16_t{256}, std::uint16_t{1024}}) {
+    // N=1024 probes ~2M links per cycle; one-and-a-bit cycles is plenty of
+    // signal without dominating the whole benchmark's wall clock.
+    storms.push_back(
+        run_probe_storm(nodes, nodes >= 1024 ? span / 8 : span));
     const StormNumbers& storm = storms.back();
     char wall[32], rate[32];
     std::snprintf(wall, sizeof wall, "%.1f", storm.wall_seconds * 1e3);
@@ -271,6 +324,14 @@ int main(int argc, char** argv) {
   util::export_table_csv("simcore_probe_storm", table);
   std::printf("%s\n", table.to_text().c_str());
 
+  const FleetNumbers fleet =
+      run_fleet(27, 8, util::Duration::seconds(2));
+  std::printf(
+      "fleet: %u clusters x %u nodes, %llu events, %.2f s wall, %.0f events/s\n",
+      fleet.clusters, fleet.nodes_per_cluster,
+      static_cast<unsigned long long>(fleet.sim_events), fleet.wall_seconds,
+      fleet.events_per_sec);
+
   const ChaosNumbers chaos_batch = run_chaos_batch(seed, campaigns);
   std::printf(
       "chaos batch: %llu campaigns, %llu events, %.2f s wall, %.0f events/s\n",
@@ -278,7 +339,7 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(chaos_batch.sim_events),
       chaos_batch.wall_seconds, chaos_batch.events_per_sec);
 
-  const std::string report = to_json(queue, storms, chaos_batch);
+  const std::string report = to_json(queue, storms, fleet, chaos_batch);
   std::printf("=== JSON ===\n%s\n", report.c_str());
   const std::string json_out = flags->get_string("json-out", "");
   if (!json_out.empty()) {

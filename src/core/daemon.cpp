@@ -13,8 +13,96 @@ namespace drs::core {
 using net::NetworkId;
 using net::NodeId;
 
+bool ProbeTimeoutSweeper::live(const Record& r) const {
+  const PeerTable& table = r.daemon->table_;
+  return table.outstanding(r.entry) &&
+         table.deadline_ns(r.entry) == r.deadline_ns;
+}
+
+void ProbeTimeoutSweeper::note_deadline(DrsDaemon& daemon, std::uint32_t entry,
+                                        std::int64_t deadline_ns) {
+  // One record — and one claimed rank — per probe, mirroring the per-probe
+  // timeout event the legacy scheduler pushed right here. The rank is spent
+  // when the scan is armed at this record's deadline, so the scan pops in
+  // the precise queue position legacy's own timeout event held.
+  const std::uint64_t rank = sim_.claim_event_rank();
+  if (deadline_ns < last_deadline_ns_) monotone_ = false;
+  last_deadline_ns_ = deadline_ns;
+  records_.push_back(Record{deadline_ns, rank, &daemon, entry});
+  // An already-pending earlier scan covers this deadline (it re-arms itself
+  // forward when it fires); with fixed timeouts that is every non-idle send.
+  if (!scan_.pending() || deadline_ns < scan_at_ns_) arm(deadline_ns, rank);
+}
+
+void ProbeTimeoutSweeper::arm(std::int64_t deadline_ns, std::uint64_t rank) {
+  scan_.cancel();
+  scan_at_ns_ = deadline_ns;
+  scan_ = sim_.schedule_at_ranked(util::SimTime::from_ns(deadline_ns),
+                                  [this] { fire(); }, rank);
+}
+
+void ProbeTimeoutSweeper::cancel() {
+  scan_.cancel();
+  records_.clear();
+  head_ = 0;
+}
+
+void ProbeTimeoutSweeper::fire() {
+  const std::int64_t now = sim_.now().ns();
+  // Earliest-deadline live record: the first live one from head_ in the
+  // monotone (fixed-timeout) case, else a full search.
+  const auto earliest_live = [this]() -> std::size_t {
+    if (monotone_) {
+      while (head_ < records_.size() && !live(records_[head_])) ++head_;
+      return head_;
+    }
+    std::size_t best = records_.size();
+    for (std::size_t i = head_; i < records_.size(); ++i) {
+      if (!live(records_[i])) continue;
+      if (best == records_.size() ||
+          records_[i].deadline_ns < records_[best].deadline_ns) {
+        best = i;
+      }
+    }
+    return best;
+  };
+
+  std::size_t due = earliest_live();
+  if (due < records_.size() && records_[due].deadline_ns <= now) {
+    // Exactly one expiry per firing: the re-arm below uses the *next*
+    // record's claimed rank (often at this same instant), reproducing the
+    // legacy pop sequence event for event. expire_entry() runs the identical
+    // managed-timeout path: kPingLost trace, timed-out counter, failure
+    // verdict.
+    const Record r = records_[due];
+    if (monotone_) {
+      ++head_;
+    } else {
+      records_.erase(records_.begin() + static_cast<std::ptrdiff_t>(due));
+    }
+    r.daemon->expire_entry(r.entry);
+  }
+
+  const std::size_t next = earliest_live();
+  if (next < records_.size()) {
+    arm(records_[next].deadline_ns, records_[next].rank);
+  } else if (head_ == records_.size()) {
+    // Idle and fully consumed: reclaim the ring in one go (the healthy
+    // steady state — every probe replied before its deadline).
+    records_.clear();
+    head_ = 0;
+  }
+  // Bound the consumed prefix under sustained loss, amortized O(1)/record.
+  if (head_ >= 4096 && head_ * 2 >= records_.size()) {
+    records_.erase(records_.begin(), records_.begin() +
+                                         static_cast<std::ptrdiff_t>(head_));
+    head_ = 0;
+  }
+}
+
 DrsDaemon::DrsDaemon(net::Host& host, proto::IcmpService& icmp,
-                     std::uint16_t node_count, DrsConfig config)
+                     std::uint16_t node_count, DrsConfig config,
+                     ProbeTimeoutSweeper* sweeper)
     : host_(host),
       icmp_(icmp),
       node_count_(node_count),
@@ -23,7 +111,8 @@ DrsDaemon::DrsDaemon(net::Host& host, proto::IcmpService& icmp,
              LinkPolicy{config.failures_to_down, config.successes_to_up,
                         config.flap_threshold, config.flap_window,
                         config.flap_hold}),
-      cycle_timer_(host.simulator(), config.probe_interval, [this] { on_cycle(); }) {
+      cycle_timer_(host.simulator(), config.probe_interval, [this] { on_cycle(); }),
+      table_(node_count) {
   if (config_.monitored_peers) {
     for (NodeId peer : *config_.monitored_peers) {
       if (peer != self() && peer < node_count_) peers_[peer] = PeerState{};
@@ -35,6 +124,22 @@ DrsDaemon::DrsDaemon(net::Host& host, proto::IcmpService& icmp,
   }
   monitored_.assign(node_count_, 0);
   for (const auto& [peer, state] : peers_) monitored_[peer] = 1;
+  // The SoA sweep fabric mirrors the (construction-fixed) monitored set in
+  // ascending id order — the same order the legacy scheduler walked peers_.
+  table_.reserve(peers_.size());
+  for (const auto& [peer, state] : peers_) table_.add_peer(peer);
+  sent_ns_.assign(table_.entry_count(), 0);
+  probe_seq_.reserve(2u * table_.entry_count());
+  icmp_.set_probe_reply_hook(
+      [this](std::uint16_t seq) { return on_raw_probe_reply(seq); });
+  if (sweeper == nullptr) {
+    own_sweeper_ = std::make_unique<ProbeTimeoutSweeper>(host_.simulator());
+    // Records linger for about one timeout past their send; a private
+    // sweeper never covers more than this daemon's own probe fan-out.
+    own_sweeper_->reserve(2u * peers_.size() * net::kNetworksPerHost);
+    sweeper = own_sweeper_.get();
+  }
+  sweeper_ = sweeper;
   host_.register_handler(net::Protocol::kDrsControl,
                          [this](const net::Packet& p, NetworkId in_if) {
                            on_control(p, in_if);
@@ -57,6 +162,17 @@ void DrsDaemon::stop() {
   outstanding_probes_.clear();
   for (auto& handle : pending_probe_sends_) handle.cancel();
   pending_probe_sends_.clear();
+  sweep_cursor_.cancel();
+  // A shared sweeper keeps scanning for its other daemons; with all of this
+  // daemon's probes cancelled below it simply finds nothing due here. The
+  // private fallback sweeper serves only this daemon, so stop it outright.
+  if (own_sweeper_) own_sweeper_->cancel();
+  // Sweep probes are raw (no IcmpService state): dropping the correlation
+  // map and deadlines is the whole cancellation.
+  probe_seq_.clear();
+  for (std::uint32_t e = 0; e < table_.entry_count(); ++e) {
+    if (table_.outstanding(e)) table_.clear_outstanding(e);
+  }
   for (auto& [peer, state] : peers_) state.discover_timer.cancel();
   // Pending management queries are dropped without a callback: the caller
   // stopped the daemon, so there is no meaningful answer to deliver.
@@ -136,19 +252,32 @@ std::optional<NodeId> DrsDaemon::relay_for(NodeId peer) const {
 
 void DrsDaemon::on_cycle() {
   // Phase 2 housekeeping first: expire relay leases we hold, refresh leases
-  // we depend on, retry discovery for unreachable peers.
-  sweep_leases();
-  for (auto& [peer, state] : peers_) {
-    if (state.mode == PeerRouteMode::kRelay) {
-      refresh_relay_lease(peer);
-      send_path_probe(peer);
-    } else if (state.mode == PeerRouteMode::kUnreachable && !state.discovering) {
-      start_discovery(peer);
+  // we depend on, retry discovery for unreachable peers. In the healthy
+  // steady state (no leases, every peer direct) both walks are behavioral
+  // no-ops, so the nondirect counter lets the tick skip the map walk
+  // entirely — the common case for every node in a healthy cluster.
+  if (!leases_.empty()) sweep_leases();
+  if (nondirect_peers_ > 0) {
+    for (auto& [peer, state] : peers_) {
+      if (state.mode == PeerRouteMode::kRelay) {
+        refresh_relay_lease(peer);
+        send_path_probe(peer);
+      } else if (state.mode == PeerRouteMode::kUnreachable && !state.discovering) {
+        start_discovery(peer);
+      }
     }
   }
 
   // Phase 1: probe every (peer, network) link, optionally spread across the
   // cycle so the monitoring traffic is a smooth load instead of a burst.
+  if (config_.probe_scheduler == ProbeScheduler::kBatchedSweep) {
+    schedule_cycle_probes_batched();
+  } else {
+    schedule_cycle_probes_legacy();
+  }
+}
+
+void DrsDaemon::schedule_cycle_probes_legacy() {
   pending_probe_sends_.erase(
       std::remove_if(pending_probe_sends_.begin(), pending_probe_sends_.end(),
                      [](const sim::EventHandle& h) { return !h.pending(); }),
@@ -171,6 +300,106 @@ void DrsDaemon::on_cycle() {
       ++index;
     }
   }
+}
+
+void DrsDaemon::schedule_cycle_probes_batched() {
+  const std::size_t total = table_.entry_count();
+  if (total == 0) return;
+  if (!config_.spread_probes) {
+    // Burst mode: the whole sweep fires inline at the tick, exactly like the
+    // legacy unspread path.
+    for (std::uint32_t e = 0; e < total; ++e) send_entry_probe(e);
+    return;
+  }
+  // One cursor event per cycle replaces the legacy 2(N-1) send events. Its
+  // rank is claimed here — at the tick, where legacy pushed its whole block
+  // of send events — and every spread-offset re-push reuses it, so cursor
+  // firings tie-break against any same-instant foreign event (path-probe
+  // timeouts, discovery timers, frame deliveries pushed later in this tick)
+  // exactly like the legacy send events did.
+  sweep_cursor_.cancel();
+  sweep_pos_ = 0;
+  sweep_rank_ = host_.simulator().claim_event_rank();
+  sweep_cursor_ = host_.simulator().schedule_at_ranked(
+      host_.simulator().now(), [this] { run_sweep(); }, sweep_rank_);
+}
+
+void DrsDaemon::run_sweep() {
+  const std::size_t total = table_.entry_count();
+  const std::int64_t interval = config_.probe_interval.ns();
+  // Legacy send times are floor(interval * index / total) past the tick; the
+  // cursor sends the run of entries sharing this firing's offset (a run is
+  // length 1 whenever total < interval in ns), then sleeps to the next one.
+  const std::int64_t offset = interval * static_cast<std::int64_t>(sweep_pos_) /
+                              static_cast<std::int64_t>(total);
+  while (sweep_pos_ < total) {
+    const std::int64_t at = interval * static_cast<std::int64_t>(sweep_pos_) /
+                            static_cast<std::int64_t>(total);
+    if (at != offset) {
+      sweep_cursor_ = host_.simulator().schedule_at_ranked(
+          host_.simulator().now() + util::Duration::nanos(at - offset),
+          [this] { run_sweep(); }, sweep_rank_);
+      return;
+    }
+    send_entry_probe(sweep_pos_);
+    ++sweep_pos_;
+  }
+}
+
+void DrsDaemon::send_entry_probe(std::uint32_t entry) {
+  const NodeId peer = table_.entry_peer(entry);
+  const NetworkId network = PeerTable::entry_network(entry);
+  proto::PingOptions options;
+  options.timeout = probe_timeout_for(network);
+  options.via = network;
+  options.data_bytes = config_.probe_data_bytes;
+  ++metrics_.probes_sent;
+  // The sweeper owns expiry: no per-probe timeout event, no cancel
+  // tombstone. Its record is claimed before the echo frame goes out — the
+  // exact position IcmpService pushed the legacy managed timeout at. The
+  // daemon owns correlation (probe_seq_) and the send instant, so the echo
+  // itself is raw: IcmpService emits the identical trace and counters but
+  // keeps no per-probe state.
+  const std::int64_t now = host_.simulator().now().ns();
+  const std::int64_t deadline = now + options.timeout.ns();
+  sweeper_->note_deadline(*this, entry, deadline);
+  const std::uint16_t seq =
+      icmp_.send_echo(net::cluster_ip(network, peer), options);
+  probe_seq_.insert(seq, entry);
+  sent_ns_[entry] = now;
+  table_.mark_sent(entry, seq, deadline);
+}
+
+bool DrsDaemon::on_raw_probe_reply(std::uint16_t seq) {
+  const std::uint32_t* found = probe_seq_.find(seq);
+  if (found == nullptr) return false;  // managed ping, or late after expiry
+  const std::uint32_t entry = *found;
+  probe_seq_.erase(seq);
+  const std::int64_t now = host_.simulator().now().ns();
+  table_.clear_outstanding(entry);
+  table_.record_seen(entry, now);
+  proto::PingResult result;
+  result.success = true;
+  result.seq = seq;
+  result.rtt = util::Duration::nanos(now - sent_ns_[entry]);
+  on_probe_result(table_.entry_peer(entry), PeerTable::entry_network(entry),
+                  result);
+  return true;
+}
+
+void DrsDaemon::expire_entry(std::uint32_t entry) {
+  const std::uint16_t seq = table_.seq(entry);
+  probe_seq_.erase(seq);
+  // Same order as the legacy managed timeout: timed-out counter + kPingLost
+  // trace first, then the failure verdict.
+  icmp_.expire_raw(seq);
+  table_.clear_outstanding(entry);
+  proto::PingResult result;
+  result.success = false;
+  result.seq = seq;
+  result.rtt = host_.simulator().now() - util::SimTime::from_ns(sent_ns_[entry]);
+  on_probe_result(table_.entry_peer(entry), PeerTable::entry_network(entry),
+                  result);
 }
 
 util::Duration DrsDaemon::probe_timeout_for(NetworkId network) const {
@@ -228,6 +457,12 @@ void DrsDaemon::on_probe_result(NodeId peer, NetworkId network,
   }
   const bool verdict_changed =
       links_.record_probe(peer, network, success, host_.simulator().now());
+  // Mirror the usable verdict into the SoA table (generation bumps on flip);
+  // path probes bypass this path, so only swept (peer, network) links land.
+  if (table_.contains(peer)) {
+    table_.record_state(PeerTable::entry(table_.slot_of(peer), network),
+                        links_.usable(peer, network));
+  }
   if (!verdict_changed) return;
   if (links_.state(peer, network) == LinkState::kDown) {
     ++metrics_.links_declared_down;
@@ -299,6 +534,11 @@ void DrsDaemon::set_mode(NodeId peer, PeerRouteMode mode, NodeId relay,
   }
   metrics_.route_changes.push_back(RouteChange{host_.simulator().now(), peer,
                                                previous, mode, relay});
+  if (previous == PeerRouteMode::kDirect && mode != PeerRouteMode::kDirect) {
+    ++nondirect_peers_;
+  } else if (previous != PeerRouteMode::kDirect && mode == PeerRouteMode::kDirect) {
+    --nondirect_peers_;
+  }
   state.mode = mode;
   state.relay = relay;
   state.relay_network = relay_network;

@@ -5,25 +5,48 @@
 
 namespace drs::core {
 
+std::size_t DrsSystem::recommended_event_reserve(std::uint16_t node_count,
+                                                 const DrsConfig& config) {
+  const std::size_t n = node_count;
+  const std::size_t probes_per_node = 2u * (n > 0 ? n - 1u : 0u);
+  if (config.probe_scheduler == ProbeScheduler::kLegacyPerPeer) {
+    // Every probe of a cycle holds a queue slot for its spread send event and
+    // its (possibly tombstoned) timeout event.
+    return 4u * n * probes_per_node + 64u;
+  }
+  // Batched sweep: only the cycle tick, the sweep cursor and the timeout scan
+  // stay pending per daemon. The rest is headroom for transient frame
+  // deliveries plus discovery timers and path-probe timeouts under faults.
+  return 16u * n + 4u * probes_per_node + 1024u;
+}
+
 DrsSystem::DrsSystem(net::ClusterNetwork& network, DrsConfig config)
-    : network_(network) {
+    : network_(network), sweeper_(network.simulator()) {
   if (const auto error = config.validate()) {
     throw std::invalid_argument("DrsConfig: " + *error);
   }
   const std::uint16_t n = network_.node_count();
   icmp_.reserve(n);
   daemons_.reserve(n);
-  // Pre-size the hot-path tables from the known monitoring fan-out: each node
-  // probes (n - 1) peers on both networks per cycle, and every probe holds a
-  // queue slot for its send and its timeout. Warmup then runs without a
-  // single table regrow (asserted by the zero-allocation test).
+  // Pre-size the hot-path tables from the known monitoring fan-out so warmup
+  // runs without a single table regrow (asserted by the zero-allocation
+  // test). The demand is scheduler-dependent: the legacy per-peer path keeps
+  // O(nodes x peers) events pending, the batched sweep O(nodes).
   const std::size_t probes_per_node = 2u * (n > 0 ? n - 1u : 0u);
-  network_.simulator().reserve_events(4u * n * probes_per_node + 64u);
+  network_.simulator().reserve_events(recommended_event_reserve(n, config));
+  // Timeout records linger for about one probe timeout past their send
+  // (under half a cycle with the defaults); two cycles of system-wide probe
+  // traffic is comfortable headroom against regrowth.
+  sweeper_.reserve(2u * n * probes_per_node);
   for (net::NodeId i = 0; i < n; ++i) {
     icmp_.push_back(std::make_unique<proto::IcmpService>(network_.host(i)));
     icmp_.back()->reserve(2u * probes_per_node);
-    daemons_.push_back(
-        std::make_unique<DrsDaemon>(network_.host(i), *icmp_.back(), n, config));
+    // Daemons share one timeout sweeper: probe expiries pop in claimed-rank
+    // (= send) order across the whole system, exactly like legacy's
+    // per-probe timeout events.
+    daemons_.push_back(std::make_unique<DrsDaemon>(network_.host(i),
+                                                   *icmp_.back(), n, config,
+                                                   &sweeper_));
   }
 }
 
@@ -33,6 +56,7 @@ void DrsSystem::start() {
 
 void DrsSystem::stop() {
   for (auto& daemon : daemons_) daemon->stop();
+  sweeper_.cancel();
 }
 
 std::uint64_t DrsSystem::total_probes_sent() const {

@@ -16,6 +16,15 @@ class DrsSystem {
  public:
   DrsSystem(net::ClusterNetwork& network, DrsConfig config);
 
+  /// Event-queue slot demand for one cluster of `node_count` nodes under
+  /// `config`'s probe scheduler. The constructor reserves this for its own
+  /// cluster; a fleet driver sums it across k clusters (plus its gateway
+  /// overhead) and reserves once up front, so multi-cluster geometry — not
+  /// single-cluster math — sizes the shared queue. Queue reservation only
+  /// grows, so the later per-cluster calls are no-ops under a fleet.
+  static std::size_t recommended_event_reserve(std::uint16_t node_count,
+                                               const DrsConfig& config);
+
   void start();
   void stop();
 
@@ -56,6 +65,9 @@ class DrsSystem {
 
  private:
   net::ClusterNetwork& network_;
+  /// Shared across all daemons; declared before them so it outlives their
+  /// destruction (they deregister nothing — the sweeper just stops firing).
+  ProbeTimeoutSweeper sweeper_;
   std::vector<std::unique_ptr<proto::IcmpService>> icmp_;
   std::vector<std::unique_ptr<DrsDaemon>> daemons_;
 };

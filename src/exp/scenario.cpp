@@ -5,6 +5,7 @@
 
 #include "analytic/enumerate.hpp"
 #include "analytic/survivability.hpp"
+#include "cluster/fleet.hpp"
 #include "core/system.hpp"
 #include "cost/cost_model.hpp"
 #include "montecarlo/convergence.hpp"
@@ -277,10 +278,48 @@ Outputs run_ablation_detector(const ScenarioContext& ctx) {
           {"metrics", metrics.to_json()}};
 }
 
+Outputs run_fleet_smoke(const ScenarioContext& ctx) {
+  cluster::FleetConfig config;
+  config.clusters = static_cast<std::uint16_t>(ctx.cell.get_int("clusters", 27));
+  config.nodes_per_cluster = static_cast<std::uint16_t>(ctx.cell.get_int("n", 8));
+  config.drs = ctx.config;
+  sim::Simulator sim;
+  cluster::Fleet fleet(sim, config);
+  fleet.start();
+  fleet.settle(Duration::millis(ctx.cell.get_int("run_ms", 500)));
+  std::int64_t gateway_echoes = 0, gateway_timeouts = 0;
+  for (net::ClusterId c = 0; c < config.clusters; ++c) {
+    gateway_echoes +=
+        static_cast<std::int64_t>(fleet.gateway_icmp(c).probes_sent());
+    gateway_timeouts +=
+        static_cast<std::int64_t>(fleet.gateway_icmp(c).probes_timed_out());
+  }
+  const bool relay_ok =
+      config.clusters < 2 ||
+      fleet.test_relay_reachability(0, static_cast<net::ClusterId>(
+                                           config.clusters - 1u));
+  obs::MetricRegistry metrics;
+  fleet.collect_metrics(metrics);
+  return {{"probes_sent", static_cast<std::int64_t>(fleet.total_probes_sent())},
+          {"gateway_echoes", gateway_echoes},
+          {"gateway_timeouts", gateway_timeouts},
+          {"all_pristine", fleet.all_pristine()},
+          {"relay_reachable", relay_ok},
+          {"metrics", metrics.to_json()}};
+}
+
 std::vector<Scenario> build_registry() {
   std::vector<Scenario> all;
   const auto add = [&](Scenario s) { all.push_back(std::move(s)); };
 
+  add({.family = "fleet_smoke",
+       .version = "v1",
+       .help = "Multi-cluster fleet smoke: k clusters of n nodes plus the "
+               "gateway relay mesh; probe totals, echo counters, pristine "
+               "check, and an end-to-end relay reachability probe",
+       .required = {"clusters"},
+       .uses_config = true,
+       .run = run_fleet_smoke});
   add({.family = "fig1_response_time",
        .version = "v1",
        .help = "Fig. 1 closed form: error-resolution time (s) for cluster "

@@ -88,6 +88,27 @@ constexpr MacAddr cluster_mac(NetworkId network, NodeId node) {
                  std::uint64_t{node});
 }
 
+/// Fleet addressing: the inter-cluster relay hub is its own L2 segment and
+/// IPv4 subnet (10.200.0.0/24), disjoint from every cluster subnet so relay
+/// traffic can never be mistaken for intra-cluster traffic. Each cluster's
+/// gateway owns one address and MAC on it, indexed by cluster. Cluster-local
+/// subnets are reused verbatim across clusters — they are isolated L2
+/// islands, so identical addressing keeps per-cluster behavior (and traces)
+/// byte-identical to a standalone cluster.
+using ClusterId = std::uint16_t;
+
+constexpr Ipv4Addr fleet_relay_subnet() { return Ipv4Addr::octets(10, 200, 0, 0); }
+inline constexpr std::uint8_t kFleetRelayPrefixLen = 24;
+
+constexpr Ipv4Addr fleet_relay_ip(ClusterId cluster) {
+  return Ipv4Addr::octets(10, 200, 0, static_cast<std::uint8_t>(cluster + 1));
+}
+constexpr MacAddr fleet_relay_mac(ClusterId cluster) {
+  // Same locally administered OUI; the 0xFE "network" byte pair keeps relay
+  // MACs disjoint from cluster NIC MACs (network is only ever 0 or 1 there).
+  return MacAddr((0x024452ull << 24) | (0xFEull << 16) | std::uint64_t{cluster});
+}
+
 }  // namespace drs::net
 
 template <>

@@ -12,6 +12,7 @@ Backplane::Backplane(sim::Simulator& sim, NetworkId id)
 
 void Backplane::attach(Nic& nic) {
   attached_.push_back(&nic);
+  if (!by_mac_.insert(nic.mac().value(), &nic)) mac_collision_ = true;
   nic.attach(*this);
 }
 
@@ -45,6 +46,14 @@ void Backplane::set_failed(bool failed) {
   busy_until_ = sim_.now();
   ingress_busy_.clear();
   egress_busy_.clear();
+  // The delivery stream drops its live suffix now (per-frame events counted
+  // each loss lazily at their own pops); totals agree once the clock passes
+  // the last scheduled arrival, and the ring stays monotone across restores.
+  counters_.lost_in_flight +=
+      static_cast<std::uint64_t>(stream_.size() - stream_head_);
+  stream_.clear();
+  stream_head_ = 0;
+  stream_event_.cancel();
 }
 
 util::Duration Backplane::serialization_time(const Frame& frame) const {
@@ -86,26 +95,82 @@ void Backplane::transmit_hub(const Nic& sender, const Frame& frame) {
     return;
   }
 
-  util::SimTime arrival = busy_until_ + config_.propagation_delay;
+  const util::SimTime arrival = busy_until_ + config_.propagation_delay;
   if (config_.jitter > util::Duration::zero()) {
-    arrival += util::Duration::nanos(static_cast<std::int64_t>(
-        rng_.next_below(static_cast<std::uint64_t>(config_.jitter.ns()) + 1)));
+    // Jittered arrivals are not monotone, so each frame gets its own wheel
+    // event; the frame parks in the flight pool and the callback carries
+    // only the slot index, so scheduling never allocates.
+    const util::SimTime jittered =
+        arrival + util::Duration::nanos(static_cast<std::int64_t>(rng_.next_below(
+                      static_cast<std::uint64_t>(config_.jitter.ns()) + 1)));
+    const std::uint64_t epoch = epoch_;
+    const std::uint32_t slot = acquire_flight(frame, sender.mac());
+    sim_.schedule_at(jittered, [this, slot, epoch] {
+      const FlightFrame flight = take_flight(slot);
+      if (epoch != epoch_ || failed_) {
+        ++counters_.lost_in_flight;
+        return;
+      }
+      deliver_hub_frame(flight.frame, flight.sender);
+    });
+    return;
   }
-  const std::uint64_t epoch = epoch_;
-  // Hub semantics: fan out to every attached NIC except the sender. The
-  // frame (and its shared payload) parks in the flight pool; the delivery
-  // callback carries only the slot index, so scheduling never allocates.
-  const std::uint32_t slot = acquire_flight(frame, sender.mac());
-  sim_.schedule_at(arrival, [this, slot, epoch] {
-    const FlightFrame flight = take_flight(slot);
-    if (epoch != epoch_ || failed_) {
-      ++counters_.lost_in_flight;
-      return;
-    }
+  // FIFO stream (see the header): one armed wheel event per hub, each entry
+  // popping at the exact (time, rank) its per-frame event would have held.
+  stream_push(frame, sender.mac(), arrival);
+}
+
+/// Hub fan-in: every other NIC hears the frame, but only the addressee's MAC
+/// filter passes it, so unicast delivery resolves through the MAC index and
+/// only broadcasts pay the full fan-out walk.
+void Backplane::deliver_hub_frame(const Frame& frame, MacAddr sender) {
+  if (frame.dst.is_broadcast() || mac_collision_) {
     for (Nic* nic : attached_) {
-      if (nic->mac() != flight.sender) nic->deliver(flight.frame);
+      if (nic->mac() != sender) nic->deliver(frame);
     }
-  });
+  } else if (Nic* const* found = by_mac_.find(frame.dst.value());
+             found != nullptr && (*found)->mac() != sender) {
+    // An unknown destination MAC falls through: every NIC would have
+    // filter-rejected it anyway.
+    (*found)->deliver(frame);
+  }
+}
+
+void Backplane::stream_push(const Frame& frame, MacAddr sender,
+                            util::SimTime arrival) {
+  const bool was_idle = stream_head_ == stream_.size();
+  if (was_idle && !stream_.empty()) {
+    // Fully consumed: reclaim the ring in one go before appending.
+    stream_.clear();
+    stream_head_ = 0;
+  }
+  stream_.push_back(
+      PendingDelivery{frame, sender, arrival.ns(), sim_.claim_event_rank()});
+  if (was_idle) stream_arm();
+}
+
+void Backplane::stream_arm() {
+  const PendingDelivery& head = stream_[stream_head_];
+  stream_event_ = sim_.schedule_at_ranked(
+      util::SimTime::from_ns(head.arrival_ns), [this] { stream_fire(); },
+      head.rank);
+}
+
+void Backplane::stream_fire() {
+  // Move out and re-arm before delivering: delivery can re-enter
+  // transmit_hub(), growing the ring (and the push-if-idle logic must see a
+  // consistent armed state).
+  PendingDelivery entry = std::move(stream_[stream_head_]);
+  stream_[stream_head_] = PendingDelivery{};  // drop the payload reference
+  ++stream_head_;
+  if (stream_head_ < stream_.size()) stream_arm();
+  deliver_hub_frame(entry.frame, entry.sender);
+  // Bound the consumed prefix under sustained backlog, amortized O(1)/frame.
+  if (stream_head_ >= 4096 && stream_head_ * 2 >= stream_.size()) {
+    stream_.erase(stream_.begin(),
+                  stream_.begin() + static_cast<std::ptrdiff_t>(stream_head_));
+    stream_head_ = 0;
+  }
 }
 
 void Backplane::transmit_switch(const Nic& sender, const Frame& frame) {
@@ -137,10 +202,17 @@ void Backplane::transmit_switch(const Nic& sender, const Frame& frame) {
     }
     return;
   }
-  for (Nic* nic : attached_) {
-    if (nic->mac() == frame.dst) {
-      switch_deliver(*nic, frame, ingress_done);
+  if (!mac_collision_) {
+    if (Nic* const* found = by_mac_.find(frame.dst.value())) {
+      switch_deliver(**found, frame, ingress_done);
       return;
+    }
+  } else {
+    for (Nic* nic : attached_) {
+      if (nic->mac() == frame.dst) {
+        switch_deliver(*nic, frame, ingress_done);
+        return;
+      }
     }
   }
   // Unknown destination MAC: a real switch floods; in this closed cluster it

@@ -7,6 +7,26 @@
 // is FIFO serialization of the single medium. This is what makes Fig. 1's
 // shared-bandwidth-budget measurement meaningful at packet level.
 //
+// Delivery index: a unicast frame's MAC-filter reject is a pure no-op at the
+// protocol level, so the hub resolves the destination through a flat MAC
+// index instead of offering the frame to all N NICs — O(1) per frame instead
+// of the O(N) walk that made full-mesh probing O(N^2) overall. Timing,
+// contention, loss, and every delivered frame are unchanged; only the
+// bystanders' rx_filtered counters stop ticking. Broadcasts (and the
+// pathological duplicate-MAC case) still fan out to everyone.
+//
+// Delivery stream: hub FIFO serialization means arrivals are scheduled in
+// non-decreasing time order, so (when jitter is off) the hub keeps one
+// insertion-ordered ring of pending deliveries and a single armed wheel
+// event at the head's coordinates instead of one far-future wheel event per
+// frame. Each entry's queue rank is claimed at transmit — exactly where the
+// per-frame event used to be pushed — so every delivery still pops at the
+// precise (time, rank) coordinate the per-frame event would have occupied,
+// and same-instant interleaving with unrelated events is unchanged. Under
+// saturation this keeps the event queue small (one event per hub) no matter
+// how deep the backlog runs. With jitter enabled arrivals are no longer
+// monotone and the per-frame path is used.
+//
 // kSwitch — every NIC has its own full-duplex port. A frame serializes into
 // the switch on the sender's ingress port, then serializes out of the
 // destination's egress port (store-and-forward); each port queues
@@ -117,6 +137,23 @@ class Backplane {
   std::uint32_t acquire_flight(const Frame& frame, MacAddr sender);
   FlightFrame take_flight(std::uint32_t slot);
 
+  /// One pending hub delivery in the FIFO stream (see the header comment).
+  struct PendingDelivery {
+    Frame frame;
+    MacAddr sender{};
+    std::int64_t arrival_ns = 0;
+    std::uint64_t rank = 0;  // claimed at transmit; the stream pops under it
+  };
+
+  /// Hub fan-in at arrival time: MAC-index unicast or broadcast fan-out.
+  void deliver_hub_frame(const Frame& frame, MacAddr sender);
+  /// Appends to the delivery ring, claiming the entry's rank, and arms the
+  /// stream if it was idle.
+  void stream_push(const Frame& frame, MacAddr sender, util::SimTime arrival);
+  void stream_arm();
+  /// Delivers the head entry and re-arms at the next one.
+  void stream_fire();
+
   void transmit_hub(const Nic& sender, const Frame& frame);
   void transmit_switch(const Nic& sender, const Frame& frame);
   /// Schedules egress serialization + delivery to one NIC (switch path).
@@ -126,6 +163,11 @@ class Backplane {
   NetworkId id_;
   Config config_;
   std::vector<Nic*> attached_;
+  /// Unicast delivery index, keyed by MAC value. Disabled (falls back to the
+  /// full fan-out walk) if two attached NICs ever share a MAC, since a hub
+  /// would deliver to both.
+  util::FlatMap<std::uint64_t, Nic*> by_mac_;
+  bool mac_collision_ = false;
   bool failed_ = false;
   util::SimTime busy_until_ = util::SimTime::zero();
   /// Per-port busy-until times (switch mode), keyed by NIC MAC value.
@@ -133,6 +175,12 @@ class Backplane {
   util::FlatMap<std::uint64_t, util::SimTime> egress_busy_;
   std::vector<FlightFrame> flight_;
   std::vector<std::uint32_t> flight_free_;
+  /// Hub FIFO delivery ring (insertion = transmit = pop order); entries
+  /// before stream_head_ are already delivered. Failure drops the live
+  /// suffix eagerly (the per-frame path counted each loss at its own pop).
+  std::vector<PendingDelivery> stream_;
+  std::size_t stream_head_ = 0;
+  sim::EventHandle stream_event_;
   double busy_seconds_ = 0.0;
   /// Deliveries scheduled before the most recent failure are invalidated by
   /// comparing against this epoch counter.

@@ -24,6 +24,9 @@ struct FailureAction {
 
 class FailureInjector {
  public:
+  /// Injects into any failure domain — a single cluster or a whole fleet.
+  explicit FailureInjector(FailureDomain& domain);
+  /// Cluster convenience overload; additionally enables network().
   explicit FailureInjector(ClusterNetwork& network);
 
   /// Schedules one action; may be called before or during the run.
@@ -54,7 +57,10 @@ class FailureInjector {
   };
   const std::vector<LogEntry>& log() const { return log_; }
   std::size_t currently_failed() const;
-  ClusterNetwork& network() { return network_; }
+  FailureDomain& domain() { return domain_; }
+  /// The cluster this injector drives; only valid when constructed from a
+  /// ClusterNetwork (the invariant checkers' single-cluster entry point).
+  ClusterNetwork& network() { return *cluster_; }
 
   /// Observation hook: called after every applied action (scheduled or
   /// immediate), with the entry just logged. Runtime invariant checkers use
@@ -64,7 +70,8 @@ class FailureInjector {
   void set_observer(Observer observer) { observer_ = std::move(observer); }
 
  private:
-  ClusterNetwork& network_;
+  FailureDomain& domain_;
+  ClusterNetwork* cluster_ = nullptr;
   std::vector<LogEntry> log_;
   Observer observer_;
 };

@@ -98,6 +98,7 @@ class Host : public FrameSink {
 
  private:
   friend class ClusterNetwork;
+  friend struct HostAssembler;
   /// Installed by the cluster builder after construction.
   void set_nic(NetworkId ifindex, std::unique_ptr<Nic> nic);
 
@@ -118,6 +119,16 @@ class Host : public FrameSink {
   Counters counters_;
   Tap tap_;
   std::uint64_t next_packet_id_ = 1;
+};
+
+/// Build-time NIC installer for topology builders above net that assemble
+/// non-cluster hosts (the fleet's relay gateways). Wiring-phase only — never
+/// call after traffic starts.
+struct HostAssembler {
+  static void install_nic(Host& host, NetworkId ifindex,
+                          std::unique_ptr<Nic> nic) {
+    host.set_nic(ifindex, std::move(nic));
+  }
 };
 
 }  // namespace drs::net

@@ -5,6 +5,13 @@
 
 namespace drs::net {
 
+std::string FailureDomain::describe_component(ComponentIndex index) const {
+  // drs-lint: hotpath-alloc-ok(lazy debug rendering, never on the hot path)
+  std::ostringstream out;
+  out << "component(" << index << ")";
+  return out.str();
+}
+
 std::string ComponentRef::to_string() const {
   // drs-lint: hotpath-alloc-ok(lazy debug rendering, never on the hot path)
   std::ostringstream out;
@@ -83,20 +90,6 @@ bool ClusterNetwork::component_failed(ComponentIndex index) const {
     return hosts_.at(ref.node)->nic(ref.network).failed();
   }
   return backplanes_.at(ref.network)->failed();
-}
-
-std::vector<ComponentIndex> ClusterNetwork::failed_components() const {
-  std::vector<ComponentIndex> failed;
-  for (ComponentIndex c = 0; c < component_count(); ++c) {
-    if (component_failed(c)) failed.push_back(c);
-  }
-  return failed;
-}
-
-void ClusterNetwork::heal_all() {
-  for (ComponentIndex c = 0; c < component_count(); ++c) {
-    set_component_failed(c, false);
-  }
 }
 
 }  // namespace drs::net

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "net/backplane.hpp"
@@ -20,6 +21,38 @@ namespace drs::net {
 /// Flat index of a failure component; see file comment for the numbering.
 using ComponentIndex = std::uint32_t;
 
+/// Anything failure injection can address: a flat, dense component space with
+/// per-component fail/restore. ClusterNetwork exposes one cluster's 2N+2
+/// components; cluster::Fleet composes k clusters plus its gateways and the
+/// inter-cluster relay backplane into one space, so the same FailureInjector
+/// (and every chaos schedule built on it) drives either topology.
+class FailureDomain {
+ public:
+  virtual ~FailureDomain() = default;
+  virtual sim::Simulator& simulator() = 0;
+  virtual ComponentIndex component_count() const = 0;
+  virtual void set_component_failed(ComponentIndex index, bool failed) = 0;
+  virtual bool component_failed(ComponentIndex index) const = 0;
+  /// Human-readable component name for failure logs (cold path).
+  virtual std::string describe_component(ComponentIndex index) const;
+
+  /// Indices of every currently-failed component, ascending — the
+  /// network-side ground truth the invariant checkers compare against.
+  std::vector<ComponentIndex> failed_components() const {
+    std::vector<ComponentIndex> failed;
+    for (ComponentIndex c = 0; c < component_count(); ++c) {
+      if (component_failed(c)) failed.push_back(c);
+    }
+    return failed;
+  }
+  /// Restores every component to healthy.
+  void heal_all() {
+    for (ComponentIndex c = 0; c < component_count(); ++c) {
+      set_component_failed(c, false);
+    }
+  }
+};
+
 struct ComponentRef {
   enum class Kind : std::uint8_t { kNic, kBackplane };
   Kind kind = Kind::kNic;
@@ -29,7 +62,7 @@ struct ComponentRef {
   std::string to_string() const;
 };
 
-class ClusterNetwork {
+class ClusterNetwork : public FailureDomain {
  public:
   struct Config {
     std::uint16_t node_count = 8;
@@ -38,10 +71,10 @@ class ClusterNetwork {
 
   ClusterNetwork(sim::Simulator& sim, Config config);
 
-  sim::Simulator& simulator() { return sim_; }
+  sim::Simulator& simulator() override { return sim_; }
   std::uint16_t node_count() const { return config_.node_count; }
   /// Total failure components: 2N NICs + 2 backplanes.
-  ComponentIndex component_count() const {
+  ComponentIndex component_count() const override {
     return static_cast<ComponentIndex>(2u * config_.node_count + 2u);
   }
 
@@ -61,13 +94,11 @@ class ClusterNetwork {
     return static_cast<ComponentIndex>(2u * config_.node_count + network);
   }
 
-  void set_component_failed(ComponentIndex index, bool failed);
-  bool component_failed(ComponentIndex index) const;
-  /// Observation hook: indices of every currently-failed component, ascending
-  /// — the network-side ground truth the invariant checkers compare against.
-  std::vector<ComponentIndex> failed_components() const;
-  /// Restores every component to healthy.
-  void heal_all();
+  void set_component_failed(ComponentIndex index, bool failed) override;
+  bool component_failed(ComponentIndex index) const override;
+  std::string describe_component(ComponentIndex index) const override {
+    return component(index).to_string();
+  }
 
  private:
   sim::Simulator& sim_;

@@ -56,9 +56,10 @@ class Nic {
   void send(const Frame& frame);
 
   /// Called by the backplane on frame arrival; applies failure state and the
-  /// MAC filter before delivering to the host. Defined inline: on a hub every
-  /// frame fans out to every NIC, so the filter-reject path runs once per
-  /// (frame, NIC) pair and must not cost a function call.
+  /// MAC filter before delivering to the host. Defined inline: broadcasts
+  /// fan out to every NIC on a hub (unicasts resolve through the backplane's
+  /// MAC index), so the filter-reject path still runs once per
+  /// (broadcast, NIC) pair and must not cost a function call.
   void deliver(const Frame& frame) {
     if (rx_failed_) {
       ++counters_.rx_dropped;
@@ -80,7 +81,10 @@ class Nic {
     std::uint64_t rx_bytes = 0;
     std::uint64_t tx_dropped = 0;   // failed/detached at send time
     std::uint64_t rx_dropped = 0;   // failed at delivery time
-    std::uint64_t rx_filtered = 0;  // MAC filter mismatch (normal on a hub)
+    std::uint64_t rx_filtered = 0;  // MAC filter mismatch (hub unicasts skip
+                                    // bystanders via the delivery index, so
+                                    // this ticks only for frames the NIC
+                                    // actually inspected)
   };
   const Counters& counters() const { return counters_; }
 

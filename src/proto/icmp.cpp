@@ -56,8 +56,10 @@ std::uint16_t IcmpService::ping(net::Ipv4Addr dst, const PingOptions& options,
   Outstanding probe;
   probe.done = std::move(done);
   probe.sent_at = host_.simulator().now();
-  probe.timeout = host_.simulator().schedule_after(
-      options.timeout, [this, seq] { finish(seq, /*success=*/false); });
+  if (options.managed_timeout) {
+    probe.timeout = host_.simulator().schedule_after(
+        options.timeout, [this, seq] { finish(seq, /*success=*/false); });
+  }
   outstanding_.insert(seq, std::move(probe));
 
   // A locally dropped probe (failed NIC, dead backplane) still runs its
@@ -68,6 +70,42 @@ std::uint16_t IcmpService::ping(net::Ipv4Addr dst, const PingOptions& options,
     host_.send(std::move(packet));
   }
   return seq;
+}
+
+std::uint16_t IcmpService::send_echo(net::Ipv4Addr dst,
+                                     const PingOptions& options) {
+  const std::uint16_t seq = next_seq_++;
+  auto payload = util::make_pooled<IcmpPayload>(host_.simulator().arena());
+  payload->type = IcmpPayload::Type::kEchoRequest;
+  payload->ident = ident_;
+  payload->seq = seq;
+  payload->data_bytes = options.data_bytes;
+
+  net::Packet packet;
+  packet.dst = dst;
+  packet.protocol = net::Protocol::kIcmp;
+  packet.payload = std::move(payload);
+
+  ++sent_;
+  DRS_TRACE_EVENT(host_.simulator().tracer(),
+                  .at_ns = host_.simulator().now().ns(),
+                  .kind = obs::TraceEventKind::kPingSent, .node = host_.id(),
+                  .network = options.via.value_or(obs::kNoNetwork),
+                  .a = seq, .b = static_cast<std::int64_t>(dst.value()));
+  if (options.via) {
+    host_.send_via(*options.via, dst, std::move(packet));
+  } else {
+    host_.send(std::move(packet));
+  }
+  return seq;
+}
+
+void IcmpService::expire_raw(std::uint16_t seq) {
+  ++timed_out_;
+  DRS_TRACE_EVENT(host_.simulator().tracer(),
+                  .at_ns = host_.simulator().now().ns(),
+                  .kind = obs::TraceEventKind::kPingLost, .node = host_.id(),
+                  .a = seq);
 }
 
 bool IcmpService::cancel(std::uint16_t seq) {
@@ -99,9 +137,12 @@ void IcmpService::on_packet(const net::Packet& packet, net::NetworkId in_ifindex
     return;
   }
 
-  // Echo reply: correlate by (ident, seq).
+  // Echo reply: correlate by (ident, seq). Raw (send_echo) probes are
+  // claimed by the hook; everything else resolves through the outstanding
+  // table. Sequence numbers come from one counter, so a seq is never both.
   if (icmp->ident != ident_) return;
   (void)in_ifindex;
+  if (reply_hook_ && reply_hook_(icmp->seq)) return;
   finish(icmp->seq, /*success=*/true);
 }
 

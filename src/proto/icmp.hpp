@@ -46,6 +46,12 @@ struct PingOptions {
   /// assumed on-link). Unset: normal routing.
   std::optional<net::NetworkId> via;
   std::uint32_t data_bytes = 0;
+  /// When true (default) the service schedules a wheel event per probe that
+  /// fires the timeout. When false the caller owns expiry: it must track the
+  /// deadline itself and call expire(seq) once it passes. The batched probe
+  /// sweep uses this to keep one timeout-scan event per daemon instead of one
+  /// wheel event (plus a cancel tombstone) per probe.
+  bool managed_timeout = true;
 };
 
 class IcmpService {
@@ -59,9 +65,34 @@ class IcmpService {
   /// timeout. Returns the sequence number used.
   std::uint16_t ping(net::Ipv4Addr dst, const PingOptions& options, PingCallback done);
 
+  /// Fire-and-forget echo request for a caller that owns its own correlation
+  /// and expiry (the batched probe sweep): same kPingSent trace, same sent
+  /// counter, same frame as ping(), but no outstanding-table entry — replies
+  /// route through the probe-reply hook, expiry through expire_raw(). The
+  /// probe hot path thus skips the per-probe insert/find/erase churn of the
+  /// outstanding table entirely.
+  std::uint16_t send_echo(net::Ipv4Addr dst, const PingOptions& options);
+
+  /// Consulted on every echo reply addressed to this service, before the
+  /// outstanding-probe table; return true to claim the seq. Set once (at
+  /// daemon construction) — registration plumbing, not per-probe work.
+  using ProbeReplyHook = util::InlineFunction<bool(std::uint16_t), 16>;
+  void set_probe_reply_hook(ProbeReplyHook hook) { reply_hook_ = std::move(hook); }
+
+  /// Failure bookkeeping for a send_echo() probe whose deadline passed: the
+  /// kPingLost trace and timed-out counter a managed timeout would emit. The
+  /// caller runs its own result handling.
+  void expire_raw(std::uint16_t seq);
+
   /// Cancels an outstanding probe (callback will not fire). Returns whether
   /// a probe with that sequence number was pending.
   bool cancel(std::uint16_t seq);
+
+  /// Times out an unmanaged probe now (PingOptions::managed_timeout=false):
+  /// runs the exact failure path a managed timeout event would — kPingLost
+  /// trace, timed-out counter, failure callback. No-op for unknown seqs (the
+  /// reply may have raced the caller's deadline scan).
+  void expire(std::uint16_t seq) { finish(seq, /*success=*/false); }
 
   std::uint64_t echo_requests_answered() const { return answered_; }
   std::uint64_t probes_sent() const { return sent_; }
@@ -89,6 +120,7 @@ class IcmpService {
   std::uint64_t answered_ = 0;
   std::uint64_t sent_ = 0;
   std::uint64_t timed_out_ = 0;
+  ProbeReplyHook reply_hook_;
 };
 
 }  // namespace drs::proto

@@ -157,10 +157,15 @@ void EventQueue::collect() {
 }
 
 EventId EventQueue::push(util::SimTime t, EventCallback fn) {
+  return push_ranked(t, std::move(fn), ++total_scheduled_);
+}
+
+EventId EventQueue::push_ranked(util::SimTime t, EventCallback fn,
+                                std::uint64_t rank) {
   const std::uint32_t slot = acquire_slot();
   Slot& s = slots_[slot];
   s.time_ns = t.ns();
-  s.seq = ++total_scheduled_;
+  s.seq = rank;
   s.fn = std::move(fn);
   place(slot, s.time_ns, s.seq);
   ++live_;

@@ -55,6 +55,20 @@ class EventQueue {
   /// Schedules `fn` at absolute time `t`; returns a cancellation id.
   EventId push(util::SimTime t, EventCallback fn);
 
+  /// Consumes and returns the next push-sequence number without scheduling
+  /// anything. A claimed rank can later be attached to an event with
+  /// push_ranked(), making that event tie-break at equal times exactly as if
+  /// it had been pushed when the rank was claimed. This is the primitive
+  /// behind the batched probe sweep's byte-identical ordering: one pending
+  /// event stands in for many, but each firing must occupy the queue
+  /// position of the per-probe event it replaced.
+  std::uint64_t claim_rank() { return ++total_scheduled_; }
+
+  /// Schedules `fn` at `t` under a rank from claim_rank() instead of a fresh
+  /// sequence number. The rank must have been claimed from this queue and be
+  /// attached to at most one pending event at a time.
+  EventId push_ranked(util::SimTime t, EventCallback fn, std::uint64_t rank);
+
   /// Cancels a pending event. Returns false if the id is kInvalidEventId,
   /// unknown, already executed, or already cancelled.
   bool cancel(EventId id);

@@ -20,6 +20,12 @@ EventHandle Simulator::schedule_at(util::SimTime t, EventCallback fn) {
   return EventHandle(this, queue_.push(t, std::move(fn)));
 }
 
+EventHandle Simulator::schedule_at_ranked(util::SimTime t, EventCallback fn,
+                                          std::uint64_t rank) {
+  assert(t >= now_ && "cannot schedule into the past");
+  return EventHandle(this, queue_.push_ranked(t, std::move(fn), rank));
+}
+
 EventHandle Simulator::schedule_after(util::Duration delay, EventCallback fn) {
   if (delay < util::Duration::zero()) delay = util::Duration::zero();
   return schedule_at(now_ + delay, std::move(fn));

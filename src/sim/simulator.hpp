@@ -88,6 +88,17 @@ class Simulator {
   /// Schedules `delay` after now; negative delays are clamped to zero.
   EventHandle schedule_after(util::Duration delay, EventCallback fn);
 
+  /// Reserves a queue position "now" for an event scheduled later: same-time
+  /// ties resolve as if the event had been pushed at the claim. See
+  /// EventQueue::claim_rank; the batched probe sweep uses this to keep its
+  /// one-event-stands-for-many schedule ordered identically to the legacy
+  /// per-event one.
+  std::uint64_t claim_event_rank() { return queue_.claim_rank(); }
+  /// Schedules at an absolute time under a rank from claim_event_rank(); the
+  /// rank must be attached to at most one pending event at a time.
+  EventHandle schedule_at_ranked(util::SimTime t, EventCallback fn,
+                                 std::uint64_t rank);
+
   bool cancel(EventId id) { return queue_.cancel(id); }
   bool is_pending(EventId id) const;
 

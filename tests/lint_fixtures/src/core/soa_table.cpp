@@ -1,0 +1,23 @@
+// hotpath-alloc fixture for a *file-override* hot-path module: this file
+// lives in core/ but lint.conf maps it to the hot-path `peertable` module
+// (mirroring the real tree's `file core/peer_table = peertable`), so the
+// allocation ban must follow the override, not the directory.
+#include <sstream>
+#include <string>
+
+namespace fixture {
+
+struct SoaTable {
+  int slots = 0;
+};
+
+std::string dump(const SoaTable& table) {
+  std::ostringstream out;  // fires: override puts this file on the hot path
+  out << "slots=" << table.slots;
+  return out.str();
+}
+
+// drs-lint: hotpath-alloc-ok(fixture cold site in an overridden module)
+std::string cold_label() { return std::string("soa"); }
+
+}  // namespace fixture

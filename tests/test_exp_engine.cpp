@@ -315,6 +315,8 @@ TEST(Engine, EveryRegisteredFamilyRunsItsSmallestCell) {
         spec.grid.ints(axis, {2});
       } else if (axis == "relay" || axis == "spread" || axis == "warm") {
         spec.grid.bools(axis, {true});
+      } else if (axis == "clusters") {
+        spec.grid.ints("clusters", {2});
       } else {
         FAIL() << "family " << s.family << " requires unknown axis '" << axis
                << "' — teach this test how to fill it";

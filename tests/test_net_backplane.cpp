@@ -68,8 +68,27 @@ TEST_F(BackplaneTest, UnicastReachesAddresseeOnly) {
   ASSERT_EQ(sinks[1].arrivals.size(), 1u);
   EXPECT_EQ(sinks[1].arrivals[0].packet_id, 7u);
   EXPECT_TRUE(sinks[2].arrivals.empty());  // filtered by MAC
-  EXPECT_EQ(nics[2]->counters().rx_filtered, 1u);
+  // The delivery index short-circuits the bystander: its filter never runs.
+  EXPECT_EQ(nics[2]->counters().rx_filtered, 0u);
   EXPECT_TRUE(sinks[0].arrivals.empty());  // sender does not hear itself
+}
+
+TEST_F(BackplaneTest, DuplicateMacDisablesDeliveryIndex) {
+  // Two NICs sharing a MAC is outside the closed-cluster addressing plan, but
+  // a hub would deliver to both — so the index must stand down and fan out.
+  Backplane bp(sim, 0);
+  attach_all(bp);
+  RecordingSink clone_sink;
+  clone_sink.sim = &sim;
+  Nic clone(9, 0, nics[1]->mac(), cluster_ip(0, 9), clone_sink);
+  bp.attach(clone);
+  nics[0]->send(make_frame(nics[0]->mac(), nics[1]->mac(), 100, 5));
+  sim.run();
+  ASSERT_EQ(sinks[1].arrivals.size(), 1u);
+  ASSERT_EQ(clone_sink.arrivals.size(), 1u);
+  EXPECT_EQ(clone_sink.arrivals[0].packet_id, 5u);
+  // The fan-out walk also means bystanders inspect the frame again.
+  EXPECT_EQ(nics[2]->counters().rx_filtered, 1u);
 }
 
 TEST_F(BackplaneTest, BroadcastReachesEveryoneElse) {
@@ -165,8 +184,8 @@ TEST_F(BackplaneTest, FailedReceiverNicDrops) {
   sim.run();
   EXPECT_TRUE(sinks[1].arrivals.empty());
   EXPECT_EQ(nics[1]->counters().rx_dropped, 1u);
-  // Unrelated third NIC still saw (and filtered) the broadcast medium.
-  EXPECT_EQ(nics[2]->counters().rx_filtered, 1u);
+  // The unrelated third NIC is skipped by the delivery index entirely.
+  EXPECT_EQ(nics[2]->counters().rx_filtered, 0u);
 }
 
 TEST_F(BackplaneTest, BacklogLimitDropsExcess) {

@@ -1,0 +1,217 @@
+// Differential property test: core::PeerTable (the struct-of-arrays probe
+// fabric behind the batched sweep) must be observationally identical to a
+// naive map-based reference model under randomized membership churn and
+// probe traffic — same sweep order, same slot mapping, same outstanding
+// set, same due list (in sweep order), same earliest deadline, same
+// usable/generation lanes. Same seed discipline as
+// tests/test_sim_queue_property.cpp: a few deep seeded runs plus many
+// short ones.
+//
+// The generation counter is 16-bit and wraps by design (consumers compare
+// for inequality only); the dedicated wraparound test drives an entry
+// through the full 2^16 cycle.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <iterator>
+#include <map>
+#include <vector>
+
+#include "core/peer_table.hpp"
+#include "util/rng.hpp"
+
+namespace drs::core {
+namespace {
+
+constexpr std::uint16_t kNodeCount = 48;
+
+struct EntryModel {
+  std::uint16_t seq = 0;
+  std::int64_t deadline = PeerTable::kNoDeadline;
+  std::int64_t last_seen = -1;
+  bool usable = true;
+  std::uint16_t gen = 0;
+
+  bool outstanding() const { return deadline != PeerTable::kNoDeadline; }
+};
+
+/// Obviously-correct reference: ordered map keyed by peer id, so iteration
+/// order IS the sweep order the SoA table must reproduce.
+using Model = std::map<net::NodeId, std::array<EntryModel, 2>>;
+
+void expect_equivalent(const PeerTable& table, const Model& model,
+                       std::int64_t now_ns) {
+  ASSERT_EQ(table.peer_count(), model.size());
+  ASSERT_EQ(table.entry_count(), model.size() * 2u);
+
+  std::int64_t min_deadline = PeerTable::kNoDeadline;
+  std::vector<std::uint32_t> expected_due;
+  std::size_t expected_usable = 0;
+  std::uint16_t slot = 0;
+  for (const auto& [peer, nets] : model) {
+    ASSERT_TRUE(table.contains(peer));
+    ASSERT_EQ(table.peer_at(slot), peer) << "sweep order diverged";
+    ASSERT_EQ(table.slot_of(peer), slot);
+    for (net::NetworkId network = 0; network < 2; ++network) {
+      const std::uint32_t entry = PeerTable::entry(slot, network);
+      const EntryModel& m = nets[network];
+      ASSERT_EQ(table.entry_peer(entry), peer);
+      ASSERT_EQ(PeerTable::entry_network(entry), network);
+      ASSERT_EQ(table.outstanding(entry), m.outstanding());
+      ASSERT_EQ(table.seq(entry), m.seq);
+      ASSERT_EQ(table.deadline_ns(entry), m.deadline);
+      ASSERT_EQ(table.last_seen_ns(entry), m.last_seen);
+      ASSERT_EQ(table.usable(entry), m.usable);
+      ASSERT_EQ(table.generation(entry), m.gen);
+      if (m.deadline < min_deadline) min_deadline = m.deadline;
+      if (m.deadline <= now_ns) expected_due.push_back(entry);
+      expected_usable += m.usable ? 1u : 0u;
+    }
+    ++slot;
+  }
+  ASSERT_EQ(table.min_deadline_ns(), min_deadline);
+  ASSERT_EQ(table.usable_count(), expected_usable);
+  std::vector<std::uint32_t> due;
+  table.collect_due(now_ns, due);
+  ASSERT_EQ(due, expected_due) << "due list diverged (order or content)";
+
+  for (net::NodeId peer = 0; peer < kNodeCount; ++peer) {
+    ASSERT_EQ(table.contains(peer), model.count(peer) != 0) << peer;
+  }
+}
+
+/// Picks a present peer uniformly; requires a non-empty model.
+net::NodeId random_present(util::Rng& rng, const Model& model) {
+  auto it = model.begin();
+  std::advance(it, static_cast<std::ptrdiff_t>(rng.next_below(model.size())));
+  return it->first;
+}
+
+void run_differential(std::uint64_t seed, int ops) {
+  PeerTable table(kNodeCount);
+  Model model;
+  util::Rng rng(seed);
+  std::int64_t now_ns = 0;
+  std::uint16_t next_seq = 1;
+
+  for (int op = 0; op < ops; ++op) {
+    now_ns += static_cast<std::int64_t>(rng.next_below(500'000));
+    const std::uint64_t roll = rng.next_below(12);
+    if (roll < 3 || model.empty()) {
+      // Membership add: duplicates and fresh ids both exercised.
+      const auto peer =
+          static_cast<net::NodeId>(rng.next_below(kNodeCount));
+      ASSERT_EQ(table.add_peer(peer), model.count(peer) == 0) << peer;
+      model.try_emplace(peer);
+    } else if (roll < 5) {
+      // Membership remove (sometimes of an absent id).
+      const net::NodeId peer = rng.next_below(4) == 0
+                                   ? static_cast<net::NodeId>(
+                                         rng.next_below(kNodeCount))
+                                   : random_present(rng, model);
+      ASSERT_EQ(table.remove_peer(peer), model.count(peer) != 0) << peer;
+      model.erase(peer);
+    } else if (roll < 8) {
+      // Probe send: seq + absolute deadline.
+      const net::NodeId peer = random_present(rng, model);
+      const auto network = static_cast<net::NetworkId>(rng.next_below(2));
+      const std::uint32_t entry =
+          PeerTable::entry(table.slot_of(peer), network);
+      const std::uint16_t seq = next_seq++;
+      const std::int64_t deadline =
+          now_ns + static_cast<std::int64_t>(rng.next_below(2'000'000));
+      table.mark_sent(entry, seq, deadline);
+      model[peer][network].seq = seq;
+      model[peer][network].deadline = deadline;
+    } else if (roll < 9) {
+      // Probe completion (reply or expiry — both clear the same way).
+      const net::NodeId peer = random_present(rng, model);
+      const auto network = static_cast<net::NetworkId>(rng.next_below(2));
+      const std::uint32_t entry =
+          PeerTable::entry(table.slot_of(peer), network);
+      if (rng.next_below(2) == 0) {
+        table.record_seen(entry, now_ns);
+        model[peer][network].last_seen = now_ns;
+      }
+      table.clear_outstanding(entry);
+      model[peer][network].deadline = PeerTable::kNoDeadline;
+    } else {
+      // Link verdict: fail/recover flips bump the generation (wrapping).
+      const net::NodeId peer = random_present(rng, model);
+      const auto network = static_cast<net::NetworkId>(rng.next_below(2));
+      const std::uint32_t entry =
+          PeerTable::entry(table.slot_of(peer), network);
+      const bool usable = rng.next_below(2) == 0;
+      EntryModel& m = model[peer][network];
+      table.record_state(entry, usable);
+      if (m.usable != usable) {
+        m.gen = static_cast<std::uint16_t>(m.gen + 1u);  // wraps like the lane
+      }
+      m.usable = usable;
+    }
+    expect_equivalent(table, model, now_ns);
+  }
+}
+
+TEST(PeerTableProperty, MatchesReferenceModelSeed1) {
+  run_differential(0x9EE51u, 4000);
+}
+
+TEST(PeerTableProperty, MatchesReferenceModelSeed2) {
+  run_differential(0x9EE52u, 4000);
+}
+
+TEST(PeerTableProperty, MatchesReferenceModelSeed3) {
+  run_differential(0x9EE53u, 4000);
+}
+
+TEST(PeerTableProperty, ManySeedsShortRuns) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    run_differential(seed * 0x9E3779B9u, 300);
+  }
+}
+
+TEST(PeerTableProperty, GenerationCounterWrapsAtSixteenBits) {
+  PeerTable table(2);
+  ASSERT_TRUE(table.add_peer(1));
+  const std::uint32_t entry = PeerTable::entry(table.slot_of(1), 0);
+  ASSERT_EQ(table.generation(entry), 0u);
+
+  // A full 2^16 flip cycle returns the counter to exactly where it started;
+  // consumers only ever compare generations for inequality, so wrapping is
+  // safe as long as it is exact.
+  for (int flip = 0; flip < 65536; ++flip) {
+    table.record_state(entry, flip % 2 == 0 ? false : true);
+    ASSERT_EQ(table.generation(entry), (flip + 1) & 0xFFFF);
+  }
+  ASSERT_EQ(table.generation(entry), 0u);
+  ASSERT_TRUE(table.usable(entry));
+
+  // Re-asserting the same verdict never bumps the counter.
+  table.record_state(entry, true);
+  ASSERT_EQ(table.generation(entry), 0u);
+}
+
+TEST(PeerTableProperty, ReAddedPeerStartsFresh) {
+  PeerTable table(8);
+  ASSERT_TRUE(table.add_peer(3));
+  const std::uint32_t entry = PeerTable::entry(table.slot_of(3), 1);
+  table.mark_sent(entry, 41, 1'000'000);
+  table.record_seen(entry, 900'000);
+  table.record_state(entry, false);
+  ASSERT_TRUE(table.remove_peer(3));
+  ASSERT_FALSE(table.contains(3));
+
+  ASSERT_TRUE(table.add_peer(3));
+  const std::uint32_t fresh = PeerTable::entry(table.slot_of(3), 1);
+  EXPECT_FALSE(table.outstanding(fresh));
+  EXPECT_EQ(table.seq(fresh), 0u);
+  EXPECT_EQ(table.last_seen_ns(fresh), -1);
+  EXPECT_TRUE(table.usable(fresh));
+  EXPECT_EQ(table.generation(fresh), 0u);
+  EXPECT_EQ(table.min_deadline_ns(), PeerTable::kNoDeadline);
+}
+
+}  // namespace
+}  // namespace drs::core

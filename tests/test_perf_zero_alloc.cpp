@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <string>
 
+#include "cluster/fleet.hpp"
 #include "core/builder.hpp"
 #include "core/system.hpp"
 #include "net/network.hpp"
@@ -91,6 +92,52 @@ TEST(ZeroAllocSteadyState, ProbeCyclesReuseWarmedUpStorage) {
   // and (once warm) they are served from the free lists.
   EXPECT_GT(steady.arena_allocations, warm.arena_allocations);
   EXPECT_GT(steady.arena_freelist_hits, warm.arena_freelist_hits);
+}
+
+TEST(ZeroAllocSteadyState, FleetScaleProbeFabricReusesWarmedUpStorage) {
+  // The paper's full deployment shape — 27 clusters of 8, one simulator —
+  // must hold the same steady-state guarantee as a single cluster: the
+  // geometry-derived reservations (event queue, flight pools, timeout
+  // records) reach their peak during warmup and never grow again.
+  sim::Simulator sim;
+  cluster::FleetConfig config;
+  config.clusters = 27;
+  config.nodes_per_cluster = 8;
+  cluster::Fleet fleet(sim, config);
+  fleet.start();
+
+  const auto fleet_snapshot = [&fleet] {
+    obs::MetricRegistry registry;
+    fleet.collect_metrics(registry);
+    AllocSnapshot snap;
+    snap.arena_chunks = registry.gauge("arena.chunks").value();
+    snap.arena_bytes = registry.gauge("arena.bytes_reserved").value();
+    snap.arena_oversize = registry.counter("arena.oversize").value();
+    snap.event_slots = registry.gauge("sim.event_slots").value();
+    snap.flight_slots_a = registry.gauge("fleet.flight_slots").value();
+    snap.probes_sent = static_cast<std::int64_t>(fleet.total_probes_sent());
+    return snap;
+  };
+
+  fleet.settle(util::Duration::seconds(2));
+  const AllocSnapshot warm = fleet_snapshot();
+  ASSERT_GT(warm.probes_sent, 0);
+  ASSERT_GT(warm.arena_chunks, 0);
+
+  fleet.settle(util::Duration::seconds(5));
+  const AllocSnapshot steady = fleet_snapshot();
+
+  EXPECT_GT(steady.probes_sent, warm.probes_sent) << "no probe traffic ran";
+  EXPECT_EQ(steady.arena_chunks, warm.arena_chunks)
+      << "arena grew new chunks after fleet warmup";
+  EXPECT_EQ(steady.arena_bytes, warm.arena_bytes);
+  EXPECT_EQ(steady.arena_oversize, warm.arena_oversize)
+      << "a hot-path allocation bypassed the size classes";
+  EXPECT_EQ(steady.event_slots, warm.event_slots)
+      << "the event queue grew its slot table after fleet warmup";
+  EXPECT_EQ(steady.flight_slots_a, warm.flight_slots_a)
+      << "a backplane grew its in-flight frame pool after fleet warmup";
+  fleet.stop();
 }
 
 TEST(ZeroAllocSteadyState, ArenaResetRetainsChunksAcrossRuns) {
