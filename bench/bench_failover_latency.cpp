@@ -31,9 +31,9 @@ void print_probe_interval_sweep() {
   for (auto interval : {25_ms, 50_ms, 100_ms, 200_ms, 500_ms, 1000_ms}) {
     reactive::ScenarioConfig config;
     config.node_count = 12;
-    config.protocol = reactive::ProtocolKind::kDrs;
-    config.drs.probe_interval = interval;
-    config.drs.probe_timeout = std::min(interval / 2, 100_ms);
+    config.policy = "drs";
+    config.params.drs.probe_interval = interval;
+    config.params.drs.probe_timeout = std::min(interval / 2, 100_ms);
     config.warmup = interval * 4 + 1_s;
     config.measure = interval * 6 + 2_s;
     const auto result = reactive::run_failure_scenario(
@@ -56,11 +56,11 @@ void print_adaptive_timeout() {
   for (bool adaptive : {false, true}) {
     reactive::ScenarioConfig config;
     config.node_count = 12;
-    config.protocol = reactive::ProtocolKind::kDrs;
-    config.drs.probe_interval = 100_ms;
-    config.drs.probe_timeout = 80_ms;
-    config.drs.adaptive_timeout = adaptive;
-    config.drs.min_probe_timeout = 2_ms;
+    config.policy = "drs";
+    config.params.drs.probe_interval = 100_ms;
+    config.params.drs.probe_timeout = 80_ms;
+    config.params.drs.adaptive_timeout = adaptive;
+    config.params.drs.min_probe_timeout = 2_ms;
     config.warmup = 2_s;
     config.measure = 3_s;
     const auto result = reactive::run_failure_scenario(

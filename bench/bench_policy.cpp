@@ -1,0 +1,151 @@
+// Registry-indirection overhead: the same N=90 DRS probe storm driven
+// directly (DrsSystem on the stack, the pre-redesign shape) and through the
+// policy registry (make_policy("drs") -> RoutingPolicy -> DrsSystem).
+//
+// The registry is construction-time indirection only — every per-probe hot
+// path runs inside the same DrsSystem — so simulated events/second must
+// match. perf-smoke gates policy_eps / direct_eps >= 0.98. Rounds are
+// interleaved (direct, policy, direct, policy, ...) and the best round per
+// side is compared, which cancels machine noise the same way the tracked
+// perf baseline does.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "chaos/campaign.hpp"
+#include "core/system.hpp"
+#include "policy/registry.hpp"
+#include "util/flags.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+using namespace drs;
+
+double now_seconds() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch()).count();
+}
+
+struct StormRun {
+  std::uint64_t sim_events = 0;
+  double wall_seconds = 0.0;
+  double events_per_sec() const {
+    return wall_seconds > 0.0
+               ? static_cast<double>(sim_events) / wall_seconds
+               : 0.0;
+  }
+};
+
+StormRun run_direct(std::uint16_t nodes, util::Duration span) {
+  sim::Simulator sim;
+  net::ClusterNetwork network(sim, {.node_count = nodes, .backplane = {}});
+  core::DrsSystem system(network, chaos::fast_campaign_drs_config());
+  system.start();
+  const double t0 = now_seconds();
+  sim.run_for(span);
+  const double t1 = now_seconds();
+  system.stop();
+  return {sim.executed_events(), t1 - t0};
+}
+
+StormRun run_via_registry(std::uint16_t nodes, util::Duration span) {
+  sim::Simulator sim;
+  net::ClusterNetwork network(sim, {.node_count = nodes, .backplane = {}});
+  policy::PolicyParams params;
+  params.drs = chaos::fast_campaign_drs_config();
+  const auto policy = policy::make_policy("drs", network, params);
+  policy->start();
+  const double t0 = now_seconds();
+  sim.run_for(span);
+  const double t1 = now_seconds();
+  policy->stop();
+  return {sim.executed_events(), t1 - t0};
+}
+
+void BM_ProbeStorm90Direct(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        run_direct(90, util::Duration::millis(100)).sim_events);
+  }
+}
+BENCHMARK(BM_ProbeStorm90Direct)->Unit(benchmark::kMillisecond);
+
+void BM_ProbeStorm90ViaRegistry(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        run_via_registry(90, util::Duration::millis(100)).sim_events);
+  }
+}
+BENCHMARK(BM_ProbeStorm90ViaRegistry)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto flags = util::Flags::parse(
+      argc, argv,
+      {{"nodes", "cluster size for the probe storm (default 90)"},
+       {"span-ms", "simulated span per round (default 100)"},
+       {"rounds", "interleaved rounds per side, best-of (default 3)"},
+       {"json-out", "write {direct_eps, policy_eps, ratio} JSON here"},
+       {"timing", "also run google-benchmark timing kernels"}});
+  if (!flags) return 1;
+  if (flags->help_requested()) return 0;
+
+  const auto nodes = static_cast<std::uint16_t>(flags->get_int("nodes", 90));
+  const auto span = util::Duration::millis(flags->get_int("span-ms", 100));
+  const auto rounds = static_cast<int>(flags->get_int("rounds", 3));
+
+  std::printf("=== registry indirection overhead (N=%u DRS probe storm) ===\n",
+              nodes);
+  StormRun best_direct, best_policy;
+  for (int round = 0; round < rounds; ++round) {
+    const StormRun direct = run_direct(nodes, span);
+    const StormRun via = run_via_registry(nodes, span);
+    if (direct.events_per_sec() > best_direct.events_per_sec()) {
+      best_direct = direct;
+    }
+    if (via.events_per_sec() > best_policy.events_per_sec()) {
+      best_policy = via;
+    }
+  }
+  if (best_direct.sim_events != best_policy.sim_events) {
+    std::fprintf(stderr,
+                 "event streams diverged: direct=%llu via-registry=%llu\n",
+                 static_cast<unsigned long long>(best_direct.sim_events),
+                 static_cast<unsigned long long>(best_policy.sim_events));
+    return 1;
+  }
+  const double ratio =
+      best_direct.events_per_sec() > 0.0
+          ? best_policy.events_per_sec() / best_direct.events_per_sec()
+          : 0.0;
+  std::printf("direct:       %.0f events/s (%llu events)\n",
+              best_direct.events_per_sec(),
+              static_cast<unsigned long long>(best_direct.sim_events));
+  std::printf("via registry: %.0f events/s\n", best_policy.events_per_sec());
+  std::printf("ratio (registry/direct): %.4f\n", ratio);
+
+  if (const std::string path = flags->get_string("json-out", "");
+      !path.empty()) {
+    util::JsonWriter json;
+    json.begin_object()
+        .field("nodes", static_cast<std::int64_t>(nodes))
+        .field("sim_events", best_direct.sim_events)
+        .field("direct_eps", best_direct.events_per_sec())
+        .field("policy_eps", best_policy.events_per_sec())
+        .field("ratio", ratio)
+        .end_object();
+    std::ofstream out(path, std::ios::binary);
+    out << json.str() << "\n";
+  }
+
+  if (flags->get_bool("timing", false)) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+  }
+  return 0;
+}

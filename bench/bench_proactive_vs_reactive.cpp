@@ -19,19 +19,19 @@ namespace {
 using namespace drs;
 using namespace drs::util::literals;
 
-reactive::ScenarioConfig base_config(reactive::ProtocolKind kind) {
+reactive::ScenarioConfig base_config(const std::string& policy) {
   reactive::ScenarioConfig config;
   config.node_count = 12;  // the deployed clusters were 8-12 servers
-  config.protocol = kind;
-  config.drs.probe_interval = 100_ms;
-  config.drs.probe_timeout = 40_ms;
+  config.policy = policy;
+  config.params.drs.probe_interval = 100_ms;
+  config.params.drs.probe_timeout = 40_ms;
   // Classic RIP/OSPF constants scaled (1:30 and 1:20) so one bench run stays
   // in seconds; the DRS/reactive ratios are preserved (see EXPERIMENTS.md).
-  config.rip.advertise_interval = 1_s;
-  config.rip.route_timeout = 6_s;
-  config.ospf.hello_interval = 500_ms;
-  config.ospf.dead_interval = 2_s;
-  config.ospf.lsa_refresh = 1500_ms;
+  config.params.rip.advertise_interval = 1_s;
+  config.params.rip.route_timeout = 6_s;
+  config.params.ospf.hello_interval = 500_ms;
+  config.params.ospf.dead_interval = 2_s;
+  config.params.ospf.lsa_refresh = 1500_ms;
   config.warmup = 3_s;
   config.measure = 15_s;
   return config;
@@ -67,14 +67,14 @@ void print_outage_comparison() {
   util::Table table({"scenario", "drs", "ospf (1:20)", "rip (1:30)", "static",
                      "drs msgs", "ospf msgs", "rip msgs"});
   for (const auto& scenario : scenarios()) {
-    const auto drs_result = reactive::run_failure_scenario(
-        base_config(reactive::ProtocolKind::kDrs), scenario.failures);
-    const auto ospf_result = reactive::run_failure_scenario(
-        base_config(reactive::ProtocolKind::kOspf), scenario.failures);
-    const auto rip_result = reactive::run_failure_scenario(
-        base_config(reactive::ProtocolKind::kRip), scenario.failures);
+    const auto drs_result =
+        reactive::run_failure_scenario(base_config("drs"), scenario.failures);
+    const auto ospf_result =
+        reactive::run_failure_scenario(base_config("ospf"), scenario.failures);
+    const auto rip_result =
+        reactive::run_failure_scenario(base_config("rip"), scenario.failures);
     const auto static_result = reactive::run_failure_scenario(
-        base_config(reactive::ProtocolKind::kStatic), scenario.failures);
+        base_config("static"), scenario.failures);
     table.add_row({scenario.name, outage_str(drs_result), outage_str(ospf_result),
                    outage_str(rip_result), outage_str(static_result),
                    std::to_string(drs_result.protocol_messages),
@@ -86,20 +86,20 @@ void print_outage_comparison() {
   std::printf("note: 'never' = no successful probe within the %.0f s window.\n"
               "With unscaled timers (RIP 30 s/180 s, OSPF 10 s/40 s hello/dead)\n"
               "the reactive outages are 30x / 20x longer; DRS is unaffected.\n\n",
-              base_config(reactive::ProtocolKind::kDrs).measure.to_seconds());
+              base_config("drs").measure.to_seconds());
 }
 
 void print_availability_study() {
   std::printf("=== Trace-driven availability study (one 10-server cluster) ===\n");
   cluster::StudyConfig config;
   config.node_count = 10;
-  config.drs.probe_interval = 100_ms;
-  config.drs.probe_timeout = 40_ms;
-  config.rip.advertise_interval = 1_s;
-  config.rip.route_timeout = 6_s;
-  config.ospf.hello_interval = 500_ms;
-  config.ospf.dead_interval = 2_s;
-  config.ospf.lsa_refresh = 1500_ms;
+  config.params.drs.probe_interval = 100_ms;
+  config.params.drs.probe_timeout = 40_ms;
+  config.params.rip.advertise_interval = 1_s;
+  config.params.rip.route_timeout = 6_s;
+  config.params.ospf.hello_interval = 500_ms;
+  config.params.ospf.dead_interval = 2_s;
+  config.params.ospf.lsa_refresh = 1500_ms;
   config.trace.horizon = 60_s;
   config.trace.failures_per_server = 1.5;
   config.trace.network_share = 1.0;  // only network failures exercise routing
@@ -111,7 +111,7 @@ void print_availability_study() {
   util::Table table({"protocol", "requests", "success rate", "outages",
                      "longest outage", "total outage", "protocol msgs"});
   for (const auto& result : cluster::run_comparative_study(config)) {
-    table.add_row({reactive::to_string(result.protocol),
+    table.add_row({result.policy,
                    std::to_string(result.workload.requests_sent),
                    util::format_double(result.workload.success_rate(), 6),
                    std::to_string(result.availability.outages().size()),
@@ -124,7 +124,7 @@ void print_availability_study() {
 }
 
 void BM_DrsScenario(benchmark::State& state) {
-  auto config = base_config(reactive::ProtocolKind::kDrs);
+  auto config = base_config("drs");
   config.warmup = 1_s;
   config.measure = 2_s;
   for (auto _ : state) {

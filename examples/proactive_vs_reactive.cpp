@@ -38,19 +38,18 @@ int main(int argc, char** argv) {
 
   util::Table table({"protocol", "healthy before", "recovered", "app outage",
                      "probes lost", "protocol msgs"});
-  for (auto kind : {reactive::ProtocolKind::kDrs, reactive::ProtocolKind::kRip,
-                    reactive::ProtocolKind::kStatic}) {
+  for (const char* policy : {"drs", "rip", "static"}) {
     reactive::ScenarioConfig config;
     config.node_count = nodes;
-    config.protocol = kind;
-    config.rip.advertise_interval =
+    config.policy = policy;
+    config.params.rip.advertise_interval =
         util::Duration::millis(flags->get_int("rip-advert-ms", 1000));
-    config.rip.route_timeout =
+    config.params.rip.route_timeout =
         util::Duration::millis(flags->get_int("rip-timeout-ms", 6000));
     config.warmup = 3_s;
-    config.measure = config.rip.route_timeout * 3;
+    config.measure = config.params.rip.route_timeout * 3;
     const auto result = reactive::run_failure_scenario(config, failures);
-    table.add_row({reactive::to_string(kind),
+    table.add_row({policy,
                    result.healthy_before ? "yes" : "no",
                    result.recovered ? "yes" : "no",
                    result.recovered ? util::to_string(result.app_outage)

@@ -58,12 +58,12 @@ int main(int argc, char** argv) {
     config.trace.mean_repair = horizon / 10;
     config.trace.seed = util::mix64(seed, static_cast<std::uint64_t>(c));
     config.warmup = 2_s;
-    config.drs.probe_interval = 100_ms;
-    config.drs.probe_timeout = 40_ms;
+    config.params.drs.probe_interval = 100_ms;
+    config.params.drs.probe_timeout = 40_ms;
 
-    config.protocol = reactive::ProtocolKind::kDrs;
+    config.policy = "drs";
     const cluster::StudyResult with_drs = cluster::run_study(config);
-    config.protocol = reactive::ProtocolKind::kStatic;
+    config.policy = "static";
     const cluster::StudyResult without = cluster::run_study(config);
 
     table.add_row(

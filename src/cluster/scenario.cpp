@@ -3,17 +3,13 @@
 #include <memory>
 #include <sstream>
 
-#include "core/system.hpp"
 #include "net/failure.hpp"
-#include "proto/icmp.hpp"
-#include "reactive/ospf_lite.hpp"
-#include "reactive/rip_lite.hpp"
 
 namespace drs::cluster {
 
 std::string StudyResult::summary() const {
   std::ostringstream out;
-  out << reactive::to_string(protocol) << ": requests=" << workload.requests_sent
+  out << policy << ": requests=" << workload.requests_sent
       << " success=" << workload.success_rate() << " "
       << availability.summary() << " protocol-msgs=" << protocol_messages;
   return out.str();
@@ -24,31 +20,14 @@ StudyResult run_study(const StudyConfig& config) {
   net::ClusterNetwork network(simulator,
                               {.node_count = config.node_count, .backplane = {}});
 
-  // Protocol under test. ICMP echo responders are needed for DRS probing
-  // only, but installing them everywhere keeps the stacks comparable.
-  std::unique_ptr<core::DrsSystem> drs;
-  std::unique_ptr<reactive::RipSystem> rip;
-  std::unique_ptr<reactive::OspfSystem> ospf;
-  std::vector<std::unique_ptr<proto::IcmpService>> icmp_services;
-  if (config.protocol == reactive::ProtocolKind::kDrs) {
-    drs = std::make_unique<core::DrsSystem>(network, config.drs);
-    drs->start();
-  } else {
-    if (config.protocol == reactive::ProtocolKind::kRip) {
-      rip = std::make_unique<reactive::RipSystem>(network, config.rip);
-      rip->start();
-    } else if (config.protocol == reactive::ProtocolKind::kOspf) {
-      ospf = std::make_unique<reactive::OspfSystem>(network, config.ospf);
-      ospf->start();
-    }
-    for (net::NodeId i = 0; i < config.node_count; ++i) {
-      icmp_services.push_back(
-          std::make_unique<proto::IcmpService>(network.host(i)));
-    }
-  }
+  // Policy under test, by registry name. Each policy brings the services it
+  // needs (the non-DRS ones install per-node ICMP responders themselves).
+  std::unique_ptr<policy::RoutingPolicy> routing_policy =
+      policy::make_policy(config.policy, network, config.params);
+  routing_policy->start();
 
   StudyResult result;
-  result.protocol = config.protocol;
+  result.policy = config.policy;
 
   RequestReplyWorkload workload(network, config.workload);
   workload.set_completion_hook(
@@ -64,6 +43,18 @@ StudyResult run_study(const StudyConfig& config) {
   result.trace_stats = summarize(trace);
 
   net::FailureInjector injector(network);
+  // Precomputed policies (static_resilient, alternate_path) react through
+  // failure notifications rather than probing; the injector's observer is
+  // the simulation's stand-in for that hardware signal. Probing policies
+  // ignore the hooks (no-op default), so this is uniform across the registry.
+  injector.set_observer([&routing_policy](const net::FailureInjector::LogEntry&
+                                              entry) {
+    if (entry.fail) {
+      routing_policy->on_component_failed(entry.component);
+    } else {
+      routing_policy->on_component_restored(entry.component);
+    }
+  });
   for (const TraceEvent& event : trace) {
     const util::SimTime at = event.at + config.warmup;
     net::ComponentIndex component = 0;
@@ -86,31 +77,15 @@ StudyResult run_study(const StudyConfig& config) {
   workload.stop();
 
   result.workload = workload.stats();
-  if (drs) {
-    result.protocol_messages =
-        drs->total_probes_sent() + drs->total_control_messages();
-    drs->stop();
-  } else if (rip) {
-    for (net::NodeId i = 0; i < config.node_count; ++i) {
-      result.protocol_messages += rip->daemon(i).metrics().advertisements_sent;
-    }
-    rip->stop();
-  } else if (ospf) {
-    for (net::NodeId i = 0; i < config.node_count; ++i) {
-      const auto& m = ospf->daemon(i).metrics();
-      result.protocol_messages += m.hellos_sent + m.lsas_originated + m.lsas_flooded;
-    }
-    ospf->stop();
-  }
+  result.protocol_messages = routing_policy->control_messages();
+  routing_policy->stop();
   return result;
 }
 
 std::vector<StudyResult> run_comparative_study(StudyConfig config) {
   std::vector<StudyResult> results;
-  for (auto protocol : {reactive::ProtocolKind::kDrs, reactive::ProtocolKind::kRip,
-                        reactive::ProtocolKind::kOspf,
-                        reactive::ProtocolKind::kStatic}) {
-    config.protocol = protocol;
+  for (const std::string& name : policy::policy_names()) {
+    config.policy = name;
     results.push_back(run_study(config));
   }
   return results;

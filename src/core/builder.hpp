@@ -1,4 +1,5 @@
-// Fluent construction of a complete DRS deployment.
+// Fluent construction of a complete DRS deployment — or, via with_policy(),
+// a deployment running any registered routing policy.
 //
 // DrsSystem deliberately takes an externally-owned ClusterNetwork, which is
 // the right shape for the simulator-driving tests but makes the common case
@@ -15,19 +16,30 @@
 //                      .build();
 //   cluster.settle(1_s);
 //
-// build() validates the configuration (DrsConfig::validate) and throws
-// std::invalid_argument with a descriptive message on inconsistent knobs.
+//   auto alt = core::DrsSystemBuilder()
+//                  .node_count(8)
+//                  .with_policy("alternate_path")
+//                  .build();
+//   alt.policy().control_messages();
+//
+// build() validates the configuration (DrsConfig::validate, or the selected
+// policy's parameter struct) and throws std::invalid_argument with a
+// descriptive message on inconsistent knobs — unknown policy names list the
+// registered names.
 #pragma once
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/system.hpp"
 #include "net/network.hpp"
+#include "policy/registry.hpp"
 
 namespace drs::core {
 
-/// Owns an entire simulated cluster: simulator, network, DRS daemons.
+/// Owns an entire simulated cluster: simulator, network, and either the DRS
+/// daemons directly (legacy path) or any registered RoutingPolicy.
 /// Move-only; destroying it tears the stack down in reverse order.
 class DrsDeployment {
  public:
@@ -36,23 +48,42 @@ class DrsDeployment {
                 std::unique_ptr<DrsSystem> system)
       : simulator_(std::move(simulator)),
         network_(std::move(network)),
-        system_(std::move(system)) {}
+        system_(std::move(system)),
+        system_view_(system_.get()) {}
+
+  DrsDeployment(std::unique_ptr<sim::Simulator> simulator,
+                std::unique_ptr<net::ClusterNetwork> network,
+                std::unique_ptr<policy::RoutingPolicy> routing_policy,
+                DrsSystem* system_view)
+      : simulator_(std::move(simulator)),
+        network_(std::move(network)),
+        policy_(std::move(routing_policy)),
+        system_view_(system_view) {}
 
   sim::Simulator& simulator() { return *simulator_; }
   net::ClusterNetwork& network() { return *network_; }
-  DrsSystem& system() { return *system_; }
-  const DrsSystem& system() const { return *system_; }
 
-  /// Pass-throughs for the calls every example makes.
-  void settle(util::Duration warmup) { system_->settle(warmup); }
-  bool test_reachability(net::NodeId a, net::NodeId b) {
-    return system_->test_reachability(a, b);
-  }
+  /// The DRS daemons. Throws std::logic_error for a deployment built with a
+  /// non-DRS policy (use policy() there); has_system() discriminates.
+  DrsSystem& system();
+  const DrsSystem& system() const;
+  bool has_system() const { return system_view_ != nullptr; }
+
+  /// The routing policy, when built through with_policy().
+  policy::RoutingPolicy& policy();
+  bool has_policy() const { return policy_ != nullptr; }
+
+  /// Pass-throughs for the calls every example makes; both work for any
+  /// policy (DRS delegates to DrsSystem, others run the generic probe).
+  void settle(util::Duration warmup);
+  bool test_reachability(net::NodeId a, net::NodeId b);
 
  private:
   std::unique_ptr<sim::Simulator> simulator_;
   std::unique_ptr<net::ClusterNetwork> network_;
-  std::unique_ptr<DrsSystem> system_;
+  std::unique_ptr<DrsSystem> system_;              // legacy direct-DRS path
+  std::unique_ptr<policy::RoutingPolicy> policy_;  // with_policy() path
+  DrsSystem* system_view_ = nullptr;  // non-null when a DrsSystem exists
 };
 
 class DrsSystemBuilder {
@@ -72,6 +103,15 @@ class DrsSystemBuilder {
   DrsSystemBuilder& warm_standby(bool on);
   DrsSystemBuilder& adaptive_timeout(bool on);
 
+  /// Selects a registered routing policy by name ("drs", "rip", "ospf",
+  /// "static", "static_resilient", "alternate_path", ...). Replaces the
+  /// whole parameter set (like config()), so call it before individual
+  /// knob overrides — the DRS knob setters above keep working by editing
+  /// params.drs. Empty name (the default) builds the classic direct-DRS
+  /// deployment.
+  DrsSystemBuilder& with_policy(std::string name,
+                                policy::PolicyParams params = {});
+
   /// Backplane medium characteristics (loss, rate, switch vs hub).
   DrsSystemBuilder& backplane(net::Backplane::Config c);
 
@@ -83,12 +123,14 @@ class DrsSystemBuilder {
   DrsSystemBuilder& auto_start(bool on);
 
   /// Assembles the deployment. Throws std::invalid_argument when the
-  /// configuration fails DrsConfig::validate().
+  /// configuration fails validation (DrsConfig::validate, the selected
+  /// policy's parameter validate, or an unknown policy name).
   [[nodiscard]] DrsDeployment build() const;
 
  private:
   std::uint16_t node_count_ = 8;
-  DrsConfig config_;
+  std::string policy_name_;  // empty = classic direct-DRS deployment
+  policy::PolicyParams params_;
   net::Backplane::Config backplane_;
   std::vector<net::ComponentIndex> pre_failed_;
   bool auto_start_ = true;

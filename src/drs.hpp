@@ -62,7 +62,15 @@
 #include "core/metrics.hpp"
 #include "core/system.hpp"
 
-// Reactive baselines for comparison.
+// The pluggable routing-policy layer: the RoutingPolicy interface, the
+// name-keyed registry, the precomputed static-resilient / alternate-path
+// baselines, and the all-policies shootout.
+#include "policy/policy.hpp"
+#include "policy/registry.hpp"
+#include "policy/shootout.hpp"
+
+// Reactive baselines for comparison (ProtocolKind here is a deprecated shim
+// over the registry; see docs/POLICIES.md).
 #include "reactive/comparison.hpp"
 
 // Survivability models: exact (Equation 1), Monte-Carlo, packet-level.

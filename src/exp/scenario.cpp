@@ -13,6 +13,7 @@
 #include "montecarlo/packet_validation.hpp"
 #include "net/failure.hpp"
 #include "obs/metrics.hpp"
+#include "policy/shootout.hpp"
 
 namespace drs::exp {
 
@@ -308,10 +309,50 @@ Outputs run_fleet_smoke(const ScenarioContext& ctx) {
           {"metrics", metrics.to_json()}};
 }
 
+Outputs run_policy_shootout(const ScenarioContext& ctx) {
+  policy::ShootoutConfig config;
+  config.node_count = static_cast<std::uint16_t>(ctx.cell.get_int("n", 8));
+  config.seed = ctx.seed;
+  config.campaigns =
+      static_cast<std::uint32_t>(ctx.cell.get_int("campaigns", 5));
+  config.events_per_campaign =
+      static_cast<std::uint64_t>(ctx.cell.get_int("events", 10));
+  config.max_patterns =
+      static_cast<std::uint32_t>(ctx.cell.get_int("max_patterns", 12));
+  config.warmup = Duration::millis(ctx.cell.get_int("warmup_ms", 2000));
+  config.measure = Duration::millis(ctx.cell.get_int("measure_ms", 8000));
+  config.params.drs = ctx.config;
+  const std::string only = ctx.cell.get_string("policy", "");
+  if (!only.empty()) config.policy_filter.push_back(only);
+  const policy::ShootoutReport report = policy::run_shootout(config);
+  Outputs out;
+  out.emplace_back("patterns",
+                   static_cast<std::int64_t>(report.corpus.size()));
+  out.emplace_back("policies",
+                   static_cast<std::int64_t>(report.rows.size()));
+  if (!report.rows.empty()) {
+    out.emplace_back("winner", report.rows.front().policy);
+    out.emplace_back("winner_recovered",
+                     static_cast<std::int64_t>(report.rows.front().recovered));
+  }
+  out.emplace_back("ranking", report.json());
+  return out;
+}
+
 std::vector<Scenario> build_registry() {
   std::vector<Scenario> all;
   const auto add = [&](Scenario s) { all.push_back(std::move(s)); };
 
+  add({.family = "policy_shootout",
+       .version = "v1",
+       .help = "Every registered routing policy vs the seeded chaos failure "
+               "corpus: recovery rate, detection time, application outage, "
+               "detour stretch and control-message overhead, ranked; "
+               "optional `policy` axis restricts to one policy",
+       .required = {"n"},
+       .uses_seed = true,
+       .uses_config = true,
+       .run = run_policy_shootout});
   add({.family = "fleet_smoke",
        .version = "v1",
        .help = "Multi-cluster fleet smoke: k clusters of n nodes plus the "

@@ -11,6 +11,7 @@ const char* to_string(RouteOrigin origin) {
     case RouteOrigin::kDrs: return "drs";
     case RouteOrigin::kRip: return "rip";
     case RouteOrigin::kOspf: return "ospf";
+    case RouteOrigin::kPolicy: return "policy";
   }
   return "?";
 }

@@ -20,6 +20,7 @@ enum class RouteOrigin : std::uint8_t {
   kDrs,     // installed by the DRS daemon
   kRip,     // installed by the distance-vector baseline
   kOspf,    // installed by the link-state baseline
+  kPolicy,  // installed by a precomputed policy (policy/ module)
 };
 
 const char* to_string(RouteOrigin origin);

@@ -1,0 +1,60 @@
+#include "policy/adapters.hpp"
+
+namespace drs::policy {
+
+void RipPolicy::start() {
+  system_ = std::make_unique<reactive::RipSystem>(network_, config_);
+  system_->start();
+  // Non-DRS stacks still need echo responders for the probe stream — after
+  // the subsystem, in node order (the pre-redesign harness's order).
+  for (net::NodeId i = 0; i < network_.node_count(); ++i) {
+    icmp_.push_back(std::make_unique<proto::IcmpService>(network_.host(i)));
+  }
+}
+
+void RipPolicy::stop() {
+  if (system_) system_->stop();
+  icmp_.clear();
+  system_.reset();
+}
+
+std::uint64_t RipPolicy::control_messages() const {
+  if (!system_) return 0;
+  std::uint64_t total = 0;
+  for (net::NodeId i = 0; i < network_.node_count(); ++i) {
+    total += system_->daemon(i).metrics().advertisements_sent;
+  }
+  return total;
+}
+
+void OspfPolicy::start() {
+  system_ = std::make_unique<reactive::OspfSystem>(network_, config_);
+  system_->start();
+  for (net::NodeId i = 0; i < network_.node_count(); ++i) {
+    icmp_.push_back(std::make_unique<proto::IcmpService>(network_.host(i)));
+  }
+}
+
+void OspfPolicy::stop() {
+  if (system_) system_->stop();
+  icmp_.clear();
+  system_.reset();
+}
+
+std::uint64_t OspfPolicy::control_messages() const {
+  if (!system_) return 0;
+  std::uint64_t total = 0;
+  for (net::NodeId i = 0; i < network_.node_count(); ++i) {
+    const auto& m = system_->daemon(i).metrics();
+    total += m.hellos_sent + m.lsas_originated + m.lsas_flooded;
+  }
+  return total;
+}
+
+void StaticPolicy::start() {
+  for (net::NodeId i = 0; i < network_.node_count(); ++i) {
+    icmp_.push_back(std::make_unique<proto::IcmpService>(network_.host(i)));
+  }
+}
+
+}  // namespace drs::policy

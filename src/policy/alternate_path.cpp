@@ -1,0 +1,78 @@
+#include "policy/alternate_path.hpp"
+
+#include <algorithm>
+
+namespace drs::policy {
+
+std::optional<std::string> AlternatePathConfig::validate() const {
+  if (notify_delay <= util::Duration::zero()) {
+    return "alternate_path.notify_delay must be positive";
+  }
+  if (notify_delay > util::Duration::seconds(60)) {
+    return "alternate_path.notify_delay above 60 s is not a notification "
+           "plane, it is archaeology";
+  }
+  if (prefer_network >= net::kNetworksPerHost) {
+    return "alternate_path.prefer_network must be 0 or 1";
+  }
+  return std::nullopt;
+}
+
+AlternatePathPolicy::AlternatePathPolicy(net::ClusterNetwork& network,
+                                         const AlternatePathConfig& config)
+    : network_(network),
+      config_(config),
+      sequences_(network.node_count(), config.prefer_network) {}
+
+void AlternatePathPolicy::start() {
+  for (net::NodeId i = 0; i < network_.node_count(); ++i) {
+    icmp_.push_back(std::make_unique<proto::IcmpService>(network_.host(i)));
+  }
+  // Setup-time state is the live network: pre-failed components are known
+  // immediately (the management plane reported them before we booted).
+  known_failed_ = network_.failed_components();
+  resolve_all();
+}
+
+void AlternatePathPolicy::stop() {
+  for (net::NodeId i = 0; i < network_.node_count(); ++i) {
+    network_.host(i).routing_table().remove_all(net::RouteOrigin::kPolicy);
+  }
+}
+
+void AlternatePathPolicy::on_component_failed(net::ComponentIndex component) {
+  network_.simulator().schedule_after(
+      config_.notify_delay, [this, component] { notify(component, true); });
+}
+
+void AlternatePathPolicy::on_component_restored(
+    net::ComponentIndex component) {
+  network_.simulator().schedule_after(
+      config_.notify_delay, [this, component] { notify(component, false); });
+}
+
+void AlternatePathPolicy::notify(net::ComponentIndex component, bool failed) {
+  const auto it = std::lower_bound(known_failed_.begin(), known_failed_.end(),
+                                   component);
+  if (failed) {
+    if (it != known_failed_.end() && *it == component) return;
+    known_failed_.insert(it, component);
+  } else {
+    if (it == known_failed_.end() || *it != component) return;
+    known_failed_.erase(it);
+  }
+  // One notification message per node per event — the entire overhead of
+  // this policy.
+  messages_ += network_.node_count();
+  resolve_all();
+}
+
+void AlternatePathPolicy::resolve_all() {
+  // The *known* failure set (full knowledge, notification-lagged) drives
+  // the shared arc resolver.
+  for (net::NodeId i = 0; i < network_.node_count(); ++i) {
+    install_backup_routes(sequences_, network_, i, known_failed_);
+  }
+}
+
+}  // namespace drs::policy

@@ -1,0 +1,70 @@
+// Precomputed alternate-path recovery (Bhosle & Gonzalez shaped).
+//
+// Alternate paths for every (src, dst) pair are computed once at setup —
+// the same circular backup sequences as the static-resilient policy — but
+// unlike it, this policy assumes a failure *notification* plane: when a
+// component dies, every node learns about it after a fixed notification
+// delay and atomically swaps in the precomputed alternate (direct link on
+// the surviving network, or a one-hop relay detour). There is no detection
+// traffic at all; the only overhead is the notification fan-out, accounted
+// as one message per node per failure event through control_messages().
+//
+// Against DRS this isolates the value of *detection*: alternate-path
+// recovery with an oracle notifier bounds what any precomputed scheme could
+// achieve, at the cost of assuming hardware failure notification the
+// paper's commodity deployment did not have.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "policy/backup_sequences.hpp"
+#include "policy/policy.hpp"
+
+namespace drs::policy {
+
+struct AlternatePathConfig {
+  /// Failure/restore notification latency (hardware management plane).
+  util::Duration notify_delay = util::Duration::millis(10);
+  /// Network tried first by every precomputed path.
+  net::NetworkId prefer_network = net::kNetworkA;
+
+  [[nodiscard]] std::optional<std::string> validate() const;
+};
+
+class AlternatePathPolicy final : public RoutingPolicy {
+ public:
+  AlternatePathPolicy(net::ClusterNetwork& network,
+                      const AlternatePathConfig& config);
+
+  const char* name() const override { return "alternate_path"; }
+  void start() override;
+  void stop() override;
+  void on_component_failed(net::ComponentIndex component) override;
+  void on_component_restored(net::ComponentIndex component) override;
+  proto::IcmpService& icmp(net::NodeId node) override {
+    return *icmp_.at(node);
+  }
+  std::uint64_t control_messages() const override { return messages_; }
+
+  const BackupSequences& sequences() const { return sequences_; }
+  /// The failure set the nodes currently believe in (notification-lagged).
+  const std::vector<net::ComponentIndex>& known_failed() const {
+    return known_failed_;
+  }
+
+ private:
+  void notify(net::ComponentIndex component, bool failed);
+  void resolve_all();
+
+  net::ClusterNetwork& network_;
+  AlternatePathConfig config_;
+  BackupSequences sequences_;
+  std::vector<net::ComponentIndex> known_failed_;  // sorted ascending
+  std::uint64_t messages_ = 0;
+  std::vector<std::unique_ptr<proto::IcmpService>> icmp_;
+};
+
+}  // namespace drs::policy

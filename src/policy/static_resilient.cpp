@@ -1,0 +1,71 @@
+#include "policy/static_resilient.hpp"
+
+#include <algorithm>
+
+namespace drs::policy {
+
+std::optional<std::string> StaticResilientConfig::validate() const {
+  if (prefer_network >= net::kNetworksPerHost) {
+    return "static_resilient.prefer_network must be 0 or 1";
+  }
+  return std::nullopt;
+}
+
+StaticResilientPolicy::StaticResilientPolicy(
+    net::ClusterNetwork& network, const StaticResilientConfig& config)
+    : network_(network),
+      config_(config),
+      sequences_(network.node_count(), config.prefer_network) {}
+
+void StaticResilientPolicy::start() {
+  for (net::NodeId i = 0; i < network_.node_count(); ++i) {
+    icmp_.push_back(std::make_unique<proto::IcmpService>(network_.host(i)));
+  }
+  // Setup-time state is the live network: a cluster that boots already
+  // degraded routes around the pre-failed components from day one.
+  sensed_failed_ = network_.failed_components();
+  resolve_all();
+}
+
+void StaticResilientPolicy::stop() {
+  for (net::NodeId i = 0; i < network_.node_count(); ++i) {
+    network_.host(i).routing_table().remove_all(net::RouteOrigin::kPolicy);
+  }
+}
+
+void StaticResilientPolicy::on_component_failed(
+    net::ComponentIndex component) {
+  sense(component, true);
+}
+
+void StaticResilientPolicy::on_component_restored(
+    net::ComponentIndex component) {
+  sense(component, false);
+}
+
+void StaticResilientPolicy::sense(net::ComponentIndex component,
+                                  bool failed) {
+  if (!config_.carrier_sense_backplane &&
+      network_.component(component).kind ==
+          net::ComponentRef::Kind::kBackplane) {
+    return;
+  }
+  const auto it = std::lower_bound(sensed_failed_.begin(),
+                                   sensed_failed_.end(), component);
+  if (failed) {
+    if (it != sensed_failed_.end() && *it == component) return;
+    sensed_failed_.insert(it, component);
+  } else {
+    if (it == sensed_failed_.end() || *it != component) return;
+    sensed_failed_.erase(it);
+  }
+  resolve_all();
+}
+
+void StaticResilientPolicy::resolve_all() {
+  for (net::NodeId i = 0; i < network_.node_count(); ++i) {
+    install_backup_routes(sequences_, network_, i, sensed_failed_);
+  }
+}
+
+}  // namespace drs::policy

@@ -1,0 +1,80 @@
+// Static resilient failover routing (Chiesa et al. shaped).
+//
+// All failover state is precomputed at setup: every node carries the
+// circular per-destination backup sequence from
+// policy/backup_sequences.hpp, and *zero* control-plane traffic ever flows
+// — no probes, no advertisements, no notification fan-out, no
+// reconvergence. Failover lives in the forwarding fabric itself: a dead
+// component is sensed where it fails (NIC link state, backplane carrier)
+// and traffic falls through the circular sequence to the first usable arc.
+// The simulator models that per-packet fallback as a synchronous,
+// message-free re-resolution of the precomputed routes against the live
+// failure set — recovery is instantaneous and free.
+//
+// What the scheme quietly assumes is fault sensing in the data plane.
+// That is exactly the comparison axis of the shootout: DRS assumes no
+// sensing and pays for detection with probe traffic; alternate_path
+// assumes sensing plus a management plane and pays a notification delay
+// and per-node messages; this policy assumes the fabric reroutes by itself
+// and pays nothing. It is the upper bound any precomputed scheme can hit.
+//
+// control_messages() is genuinely 0, reported through the same accounting
+// hook as every other policy (no special-casing in the harnesses).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "policy/backup_sequences.hpp"
+#include "policy/policy.hpp"
+
+namespace drs::policy {
+
+struct StaticResilientConfig {
+  /// Network tried first by every backup sequence.
+  net::NetworkId prefer_network = net::kNetworkA;
+  /// Whether the fabric can sense backplane carrier loss (true for the
+  /// paper's shared-bus hardware). When false, runtime backplane failures
+  /// are invisible and traffic into a dead backplane blackholes honestly.
+  bool carrier_sense_backplane = true;
+
+  [[nodiscard]] std::optional<std::string> validate() const;
+};
+
+class StaticResilientPolicy final : public RoutingPolicy {
+ public:
+  StaticResilientPolicy(net::ClusterNetwork& network,
+                        const StaticResilientConfig& config);
+
+  const char* name() const override { return "static_resilient"; }
+  void start() override;
+  void stop() override;
+  void on_component_failed(net::ComponentIndex component) override;
+  void on_component_restored(net::ComponentIndex component) override;
+  proto::IcmpService& icmp(net::NodeId node) override {
+    return *icmp_.at(node);
+  }
+  std::uint64_t control_messages() const override { return 0; }
+
+  const BackupSequences& sequences() const { return sequences_; }
+  /// The failure set the fabric currently senses (sorted ascending).
+  const std::vector<net::ComponentIndex>& sensed_failed() const {
+    return sensed_failed_;
+  }
+
+ private:
+  /// Synchronous fabric-level sensing: fold the change into the sensed set
+  /// and re-resolve every node's routes in the same instant.
+  void sense(net::ComponentIndex component, bool failed);
+  void resolve_all();
+
+  net::ClusterNetwork& network_;
+  StaticResilientConfig config_;
+  BackupSequences sequences_;
+  std::vector<net::ComponentIndex> sensed_failed_;  // sorted ascending
+  std::vector<std::unique_ptr<proto::IcmpService>> icmp_;
+};
+
+}  // namespace drs::policy

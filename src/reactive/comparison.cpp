@@ -2,12 +2,12 @@
 
 #include <memory>
 
-#include "core/system.hpp"
-#include "proto/icmp.hpp"
 #include "sim/timer.hpp"
 
 namespace drs::reactive {
 
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 const char* to_string(ProtocolKind kind) {
   switch (kind) {
     case ProtocolKind::kDrs: return "drs";
@@ -18,6 +18,50 @@ const char* to_string(ProtocolKind kind) {
   return "?";
 }
 
+namespace {
+
+/// Resolves the enum shim: the effective (name, params) pair the registry
+/// path runs with. When the deprecated enum is set, the deprecated flat
+/// parameter members win — the pre-redesign field layout.
+std::pair<std::string, policy::PolicyParams> effective_policy(
+    const ScenarioConfig& config) {
+  if (!config.protocol.has_value()) return {config.policy, config.params};
+  policy::PolicyParams params = config.params;
+  params.drs = config.drs;
+  params.rip = config.rip;
+  params.ospf = config.ospf;
+  return {to_string(*config.protocol), params};
+}
+
+}  // namespace
+#pragma GCC diagnostic pop
+
+namespace {
+
+/// Walks the observer's data-plane path by routing-table lookups: the hop
+/// count a packet to `dst_ip` takes from `src`, or 0 when blackholed. The
+/// TTL cap only guards against a transiently inconsistent table (reactive
+/// protocols mid-convergence); delivered paths here are 1 or 2 hops.
+std::uint32_t route_hops(net::ClusterNetwork& network, net::NodeId src,
+                         net::Ipv4Addr dst_ip) {
+  net::NodeId current = src;
+  for (std::uint32_t hops = 1; hops <= 8; ++hops) {
+    if (network.host(current).owns_ip(dst_ip)) return hops - 1;
+    const auto route = network.host(current).routing_table().lookup(dst_ip);
+    if (!route) return 0;
+    const net::Ipv4Addr hop_ip =
+        route->next_hop.is_unspecified() ? dst_ip : route->next_hop;
+    net::NetworkId hop_network = 0;
+    net::NodeId hop_node = 0;
+    if (!net::parse_cluster_ip(hop_ip, hop_network, hop_node)) return 0;
+    if (route->next_hop.is_unspecified()) return hops;  // delivered on-link
+    current = hop_node;
+  }
+  return 0;
+}
+
+}  // namespace
+
 ScenarioResult run_failure_scenario(
     const ScenarioConfig& config,
     const std::vector<net::ComponentIndex>& failed_components) {
@@ -25,48 +69,12 @@ ScenarioResult run_failure_scenario(
   net::ClusterNetwork network(
       simulator, {.node_count = config.node_count, .backplane = config.backplane});
 
-  std::unique_ptr<core::DrsSystem> drs;
-  std::unique_ptr<RipSystem> rip;
-  std::unique_ptr<OspfSystem> ospf;
-  std::vector<std::unique_ptr<proto::IcmpService>> icmp_services;
-  proto::IcmpService* observer_icmp = nullptr;
-
-  auto protocol_messages = [&]() -> std::uint64_t {
-    if (drs) return drs->total_probes_sent() + drs->total_control_messages();
-    std::uint64_t total = 0;
-    if (rip) {
-      for (net::NodeId i = 0; i < config.node_count; ++i) {
-        total += rip->daemon(i).metrics().advertisements_sent;
-      }
-    }
-    if (ospf) {
-      for (net::NodeId i = 0; i < config.node_count; ++i) {
-        const auto& m = ospf->daemon(i).metrics();
-        total += m.hellos_sent + m.lsas_originated + m.lsas_flooded;
-      }
-    }
-    return total;
-  };
-
-  if (config.protocol == ProtocolKind::kDrs) {
-    drs = std::make_unique<core::DrsSystem>(network, config.drs);
-    drs->start();
-    observer_icmp = &drs->icmp(config.observer_src);
-  } else {
-    if (config.protocol == ProtocolKind::kRip) {
-      rip = std::make_unique<RipSystem>(network, config.rip);
-      rip->start();
-    } else if (config.protocol == ProtocolKind::kOspf) {
-      ospf = std::make_unique<OspfSystem>(network, config.ospf);
-      ospf->start();
-    }
-    // Non-DRS stacks still need echo responders for the probe stream.
-    for (net::NodeId i = 0; i < config.node_count; ++i) {
-      icmp_services.push_back(
-          std::make_unique<proto::IcmpService>(network.host(i)));
-    }
-    observer_icmp = icmp_services[config.observer_src].get();
-  }
+  const auto [policy_name, params] = effective_policy(config);
+  const std::unique_ptr<policy::RoutingPolicy> routing_policy =
+      policy::make_policy(policy_name, network, params);
+  routing_policy->start();
+  proto::IcmpService* observer_icmp =
+      &routing_policy->icmp(config.observer_src);
 
   // The application stand-in: a steady probe stream between the observers.
   struct ProbeRecord {
@@ -95,17 +103,49 @@ ScenarioResult run_failure_scenario(
 
   simulator.run_for(config.warmup);
   const util::SimTime inject_at = simulator.now();
-  const std::uint64_t messages_before = protocol_messages();
+  const std::uint64_t messages_before = routing_policy->control_messages();
+  const std::uint32_t hops_before = route_hops(network, config.observer_src, target);
+  // Opt-in detection sampling: poll the cluster-wide routing-table version
+  // sum until it first moves past the pre-injection baseline. The baseline
+  // is read *before* injecting so policies that reroute synchronously in
+  // their failure hook (static_resilient's local link sensing) register as
+  // detected on the first sample.
+  const auto version_sum = [&network, &config] {
+    std::uint64_t sum = 0;
+    for (net::NodeId i = 0; i < config.node_count; ++i) {
+      sum += network.host(i).routing_table().version();
+    }
+    return sum;
+  };
+  const std::uint64_t versions_at_inject = version_sum();
   for (net::ComponentIndex component : failed_components) {
     network.set_component_failed(component, true);
+    routing_policy->on_component_failed(component);
   }
+  std::optional<util::Duration> detection;
+  std::unique_ptr<sim::PeriodicTimer> detection_timer;
+  if (config.track_detection) {
+    detection_timer = std::make_unique<sim::PeriodicTimer>(
+        simulator, config.detection_sample, [&] {
+          if (!detection && version_sum() != versions_at_inject) {
+            detection = simulator.now() - inject_at;
+          }
+        });
+    detection_timer->start();
+  }
+
   simulator.run_for(config.measure);
   probe_timer.stop();
+  if (detection_timer) detection_timer->stop();
   // Let in-flight probes conclude so every record is classified.
   simulator.run_for(config.app_probe_timeout + util::Duration::millis(10));
 
   ScenarioResult result;
-  result.protocol_messages = protocol_messages() - messages_before;
+  result.protocol_messages =
+      routing_policy->control_messages() - messages_before;
+  result.detection = detection;
+  result.path_hops_before = hops_before;
+  result.path_hops_after = route_hops(network, config.observer_src, target);
   for (const ProbeRecord& record : records) {
     if (!record.done) continue;
     if (record.sent < inject_at) {

@@ -1,35 +1,51 @@
-// Proactive-vs-reactive comparison harness.
+// Policy comparison harness.
 //
-// Runs one failure scenario under a chosen protocol and measures what an
-// application would see: a probe stream between an observer pair records the
-// outage from failure injection to first post-failure success. This is the
-// machinery behind bench_proactive_vs_reactive and the paper's central
-// qualitative claim ("fixing network problems before they effect application
-// communication").
+// Runs one failure scenario under a named routing policy (see
+// policy/registry.hpp) and measures what an application would see: a probe
+// stream between an observer pair records the outage from failure injection
+// to first post-failure success. This is the machinery behind
+// bench_proactive_vs_reactive, the policy shootout and the paper's central
+// qualitative claim ("fixing network problems before they effect
+// application communication").
+//
+// The pre-registry ProtocolKind enum survives one release as a deprecated
+// shim: setting ScenarioConfig::protocol overrides the string `policy`
+// field, and test_policy_differential pins that both paths reproduce the
+// pre-redesign results byte-identically.
 #pragma once
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
-#include "core/config.hpp"
 #include "net/network.hpp"
-#include "reactive/ospf_lite.hpp"
-#include "reactive/rip_lite.hpp"
+#include "policy/registry.hpp"
 #include "util/time.hpp"
 
 namespace drs::reactive {
 
-enum class ProtocolKind : std::uint8_t { kDrs, kRip, kOspf, kStatic };
+enum class [[deprecated(
+    "use the string-keyed policy registry (policy/registry.hpp) — e.g. "
+    "ScenarioConfig::policy = \"drs\"")]] ProtocolKind : std::uint8_t {
+  kDrs,
+  kRip,
+  kOspf,
+  kStatic
+};
 
-const char* to_string(ProtocolKind kind);
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+[[deprecated("use the registry name directly")]] const char* to_string(
+    ProtocolKind kind);
+#pragma GCC diagnostic pop
 
 struct ScenarioConfig {
   std::uint16_t node_count = 12;
-  ProtocolKind protocol = ProtocolKind::kDrs;
-  core::DrsConfig drs;
-  RipConfig rip;
-  OspfConfig ospf;
+  /// Registered policy name (policy::policy_names() lists them).
+  std::string policy = "drs";
+  /// Per-policy parameter structs; the chosen policy reads only its own.
+  policy::PolicyParams params;
   net::Backplane::Config backplane;
 
   /// Observer probe stream (application stand-in).
@@ -42,6 +58,39 @@ struct ScenarioConfig {
   util::Duration warmup = util::Duration::seconds(2);
   /// How long to keep measuring after the failure.
   util::Duration measure = util::Duration::seconds(10);
+
+  /// Opt-in detection sampling: when true, the harness polls the cluster's
+  /// routing-table versions every `detection_sample` after injection and
+  /// reports the first change as ScenarioResult::detection. Off by default
+  /// because the sampler adds events to the stream (the differential pins
+  /// require an untouched schedule).
+  bool track_detection = false;
+  util::Duration detection_sample = util::Duration::millis(1);
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  /// One-release shim for the pre-registry enum API: when set, the enum
+  /// selects the policy and the deprecated per-protocol members below
+  /// (not `params`) supply its parameters — exactly the old field layout,
+  /// so pre-redesign callers behave identically. New code sets `policy`
+  /// and `params` instead.
+  [[deprecated("set ScenarioConfig::policy by name instead")]]
+  std::optional<ProtocolKind> protocol;
+  [[deprecated("use params.drs")]] core::DrsConfig drs;
+  [[deprecated("use params.rip")]] RipConfig rip;
+  [[deprecated("use params.ospf")]] OspfConfig ospf;
+
+  // Explicitly-defaulted special members, declared inside the suppression
+  // region: otherwise every construction/copy/destruction of ScenarioConfig
+  // would re-trigger the member deprecations through the synthesized
+  // functions. Only direct member access should warn.
+  ScenarioConfig() = default;
+  ScenarioConfig(const ScenarioConfig&) = default;
+  ScenarioConfig(ScenarioConfig&&) = default;
+  ScenarioConfig& operator=(const ScenarioConfig&) = default;
+  ScenarioConfig& operator=(ScenarioConfig&&) = default;
+  ~ScenarioConfig() = default;
+#pragma GCC diagnostic pop
 };
 
 struct ScenarioResult {
@@ -54,14 +103,25 @@ struct ScenarioResult {
   util::Duration last_loss_after = util::Duration::zero();
   std::uint64_t probes_lost = 0;
   std::uint64_t probes_total = 0;
-  /// Protocol overhead observed during the run (control + monitoring
-  /// messages; 0 for static).
+  /// Policy overhead observed during the run, via the uniform
+  /// RoutingPolicy::control_messages() accounting hook (0 for static).
   std::uint64_t protocol_messages = 0;
+
+  /// Injection -> first routing-table change anywhere in the cluster,
+  /// quantized to ScenarioConfig::detection_sample. Unset unless
+  /// track_detection was on and a change was observed.
+  std::optional<util::Duration> detection;
+  /// Data-plane hop count of the observer path before injection and at the
+  /// end of the run (0 = no route); their ratio is the detour stretch.
+  std::uint32_t path_hops_before = 0;
+  std::uint32_t path_hops_after = 0;
 };
 
 /// Injects `failed_components` simultaneously after warmup and measures the
-/// observer pair's outage under the chosen protocol.
-ScenarioResult run_failure_scenario(const ScenarioConfig& config,
-                                    const std::vector<net::ComponentIndex>& failed_components);
+/// observer pair's outage under the configured policy. Throws
+/// std::invalid_argument for unknown policy names or invalid parameters.
+[[nodiscard]] ScenarioResult run_failure_scenario(
+    const ScenarioConfig& config,
+    const std::vector<net::ComponentIndex>& failed_components);
 
 }  // namespace drs::reactive

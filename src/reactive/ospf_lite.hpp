@@ -21,6 +21,8 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "net/host.hpp"
@@ -34,6 +36,22 @@ struct OspfConfig {
   util::Duration dead_interval = util::Duration::seconds(40);   // 4x hello
   /// Periodic LSA refresh (and implicit max-age for stale entries).
   util::Duration lsa_refresh = util::Duration::seconds(30);
+
+  /// DrsConfig::validate() shaped: nullopt when consistent, otherwise a
+  /// human-readable complaint (the policy registry rejects construction).
+  [[nodiscard]] std::optional<std::string> validate() const {
+    if (hello_interval <= util::Duration::zero()) {
+      return "ospf.hello_interval must be positive";
+    }
+    if (dead_interval <= hello_interval) {
+      return "ospf.dead_interval must exceed ospf.hello_interval "
+             "(adjacencies would flap between hellos)";
+    }
+    if (lsa_refresh <= util::Duration::zero()) {
+      return "ospf.lsa_refresh must be positive";
+    }
+    return std::nullopt;
+  }
 };
 
 struct OspfHello final : net::Payload {

@@ -12,6 +12,8 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "net/host.hpp"
@@ -27,6 +29,22 @@ struct RipConfig {
   /// "triggered updates"). Speeds up propagation, not detection.
   bool triggered_updates = true;
   std::uint8_t infinity_metric = 16;
+
+  /// DrsConfig::validate() shaped: nullopt when consistent, otherwise a
+  /// human-readable complaint (the policy registry rejects construction).
+  [[nodiscard]] std::optional<std::string> validate() const {
+    if (advertise_interval <= util::Duration::zero()) {
+      return "rip.advertise_interval must be positive";
+    }
+    if (route_timeout <= advertise_interval) {
+      return "rip.route_timeout must exceed rip.advertise_interval "
+             "(routes would expire between refreshes)";
+    }
+    if (infinity_metric < 2) {
+      return "rip.infinity_metric must be at least 2";
+    }
+    return std::nullopt;
+  }
 };
 
 struct RipAdvert {

@@ -155,4 +155,79 @@ TEST(DrsSystemBuilder, AutoStartOffLeavesDaemonsIdle) {
   EXPECT_GT(cluster.system().total_probes_sent(), 0u);
 }
 
+// --- DrsSystemBuilder::with_policy ------------------------------------------
+
+TEST(DrsSystemBuilderPolicy, BuildsAnyRegisteredPolicyByName) {
+  auto cluster = core::DrsSystemBuilder()
+                     .node_count(6)
+                     .with_policy("static_resilient")
+                     .build();
+  EXPECT_FALSE(cluster.has_system());
+  ASSERT_TRUE(cluster.has_policy());
+  EXPECT_EQ(cluster.policy().name(), "static_resilient");
+  cluster.settle(1_s);
+  EXPECT_TRUE(cluster.test_reachability(0, 1));
+}
+
+TEST(DrsSystemBuilderPolicy, DrsByNameStillExposesTheSystem) {
+  auto cluster = core::DrsSystemBuilder()
+                     .node_count(4)
+                     .with_policy("drs")
+                     .probe_interval(50_ms)
+                     .probe_timeout(20_ms)
+                     .build();
+  ASSERT_TRUE(cluster.has_system());
+  ASSERT_TRUE(cluster.has_policy());
+  EXPECT_EQ(cluster.system().daemon(0).config().probe_interval, 50_ms);
+  cluster.settle(1_s);
+  EXPECT_TRUE(cluster.test_reachability(0, 1));
+}
+
+TEST(DrsSystemBuilderPolicy, UnknownNameListsRegisteredNames) {
+  try {
+    (void)core::DrsSystemBuilder().with_policy("bgp").build();
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("bgp"), std::string::npos) << what;
+    EXPECT_NE(what.find("static_resilient"), std::string::npos) << what;
+    EXPECT_NE(what.find("alternate_path"), std::string::npos) << what;
+  }
+}
+
+TEST(DrsSystemBuilderPolicy, InvalidPolicyParamsRejected) {
+  policy::PolicyParams params;
+  params.alternate_path.notify_delay = util::Duration::zero();
+  EXPECT_THROW(core::DrsSystemBuilder()
+                   .with_policy("alternate_path", params)
+                   .build(),
+               std::invalid_argument);
+}
+
+TEST(DrsSystemBuilderPolicy, SystemAccessorThrowsWithoutDrs) {
+  auto cluster =
+      core::DrsSystemBuilder().node_count(4).with_policy("static").build();
+  EXPECT_THROW(cluster.system(), std::logic_error);
+}
+
+TEST(DrsSystemBuilderPolicy, PolicyAccessorThrowsOnLegacyPath) {
+  auto cluster = core::DrsSystemBuilder().node_count(4).build();
+  EXPECT_TRUE(cluster.has_system());
+  EXPECT_FALSE(cluster.has_policy());
+  EXPECT_THROW(cluster.policy(), std::logic_error);
+}
+
+TEST(DrsSystemBuilderPolicy, PreSeededFailureVisibleToPrecomputedPolicy) {
+  // static_resilient resolves at start() against the already-failed NIC:
+  // 0 -> 1 must come up routed over network B with zero protocol traffic.
+  auto cluster = core::DrsSystemBuilder()
+                     .node_count(4)
+                     .with_policy("static_resilient")
+                     .fail_component(net::ClusterNetwork::nic_component(1, 0))
+                     .build();
+  cluster.settle(1_s);
+  EXPECT_TRUE(cluster.test_reachability(0, 1));
+  EXPECT_EQ(cluster.policy().control_messages(), 0u);
+}
+
 }  // namespace

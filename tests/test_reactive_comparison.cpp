@@ -9,17 +9,17 @@ namespace {
 
 using namespace drs::util::literals;
 
-ScenarioConfig base_config(ProtocolKind kind) {
+ScenarioConfig base_config(const std::string& policy) {
   ScenarioConfig config;
   config.node_count = 8;
-  config.protocol = kind;
-  config.drs.probe_interval = 50_ms;
-  config.drs.probe_timeout = 20_ms;
-  config.drs.failures_to_down = 2;
-  config.drs.discover_timeout = 25_ms;
+  config.policy = policy;
+  config.params.drs.probe_interval = 50_ms;
+  config.params.drs.probe_timeout = 20_ms;
+  config.params.drs.failures_to_down = 2;
+  config.params.drs.discover_timeout = 25_ms;
   // Scaled-down classic RIP (30 s / 180 s divided by 30).
-  config.rip.advertise_interval = 1_s;
-  config.rip.route_timeout = 6_s;
+  config.params.rip.advertise_interval = 1_s;
+  config.params.rip.route_timeout = 6_s;
   config.warmup = 3_s;
   config.measure = 12_s;
   return config;
@@ -32,8 +32,7 @@ std::vector<net::ComponentIndex> peer_primary_nic_failure() {
 
 TEST(Comparison, DrsRecoversWithinProbingBudget) {
   const ScenarioResult result =
-      run_failure_scenario(base_config(ProtocolKind::kDrs),
-                           peer_primary_nic_failure());
+      run_failure_scenario(base_config("drs"), peer_primary_nic_failure());
   EXPECT_TRUE(result.healthy_before);
   EXPECT_TRUE(result.recovered);
   // Detection (2 x 50 ms) + repair + one probe interval of slack.
@@ -43,8 +42,7 @@ TEST(Comparison, DrsRecoversWithinProbingBudget) {
 
 TEST(Comparison, RipRecoversOnlyAfterTimeout) {
   const ScenarioResult result =
-      run_failure_scenario(base_config(ProtocolKind::kRip),
-                           peer_primary_nic_failure());
+      run_failure_scenario(base_config("rip"), peer_primary_nic_failure());
   EXPECT_TRUE(result.healthy_before);
   EXPECT_TRUE(result.recovered);
   EXPECT_GT(result.app_outage, 3_s);  // at least ~ route_timeout/2
@@ -52,20 +50,40 @@ TEST(Comparison, RipRecoversOnlyAfterTimeout) {
 
 TEST(Comparison, StaticNeverRecovers) {
   const ScenarioResult result =
-      run_failure_scenario(base_config(ProtocolKind::kStatic),
-                           peer_primary_nic_failure());
+      run_failure_scenario(base_config("static"), peer_primary_nic_failure());
   EXPECT_TRUE(result.healthy_before);
   EXPECT_FALSE(result.recovered);
   EXPECT_EQ(result.app_outage, util::Duration::max());
   EXPECT_EQ(result.protocol_messages, 0u);
 }
 
+TEST(Comparison, StaticResilientRecoversWithoutMessages) {
+  // The precomputed-failover baseline: the failure notification re-resolves
+  // from the backup sequence, with zero protocol traffic ever sent.
+  const ScenarioResult result = run_failure_scenario(
+      base_config("static_resilient"), peer_primary_nic_failure());
+  EXPECT_TRUE(result.healthy_before);
+  EXPECT_TRUE(result.recovered);
+  EXPECT_EQ(result.protocol_messages, 0u);
+  EXPECT_LT(result.app_outage, 100_ms);  // reacts at notification time
+}
+
+TEST(Comparison, AlternatePathRecoversAfterNotifyDelay) {
+  const ScenarioResult result = run_failure_scenario(
+      base_config("alternate_path"), peer_primary_nic_failure());
+  EXPECT_TRUE(result.healthy_before);
+  EXPECT_TRUE(result.recovered);
+  // One notification fan-out to every node, nothing periodic.
+  EXPECT_EQ(result.protocol_messages, 8u);
+  EXPECT_LT(result.app_outage, 200_ms);
+}
+
 TEST(Comparison, DrsBeatsRipByAnOrderOfMagnitude) {
   // The paper's central claim, quantified on identical failures.
-  const ScenarioResult drs = run_failure_scenario(
-      base_config(ProtocolKind::kDrs), peer_primary_nic_failure());
-  const ScenarioResult rip = run_failure_scenario(
-      base_config(ProtocolKind::kRip), peer_primary_nic_failure());
+  const ScenarioResult drs =
+      run_failure_scenario(base_config("drs"), peer_primary_nic_failure());
+  const ScenarioResult rip =
+      run_failure_scenario(base_config("rip"), peer_primary_nic_failure());
   ASSERT_TRUE(drs.recovered);
   ASSERT_TRUE(rip.recovered);
   EXPECT_LT(drs.app_outage * 10, rip.app_outage);
@@ -76,7 +94,7 @@ TEST(Comparison, DrsSurvivesBackplaneFailure) {
   net::ClusterNetwork scratch(sim, {.node_count = 8, .backplane = {}});
   const auto backplane = scratch.backplane_component(0);
   const ScenarioResult result =
-      run_failure_scenario(base_config(ProtocolKind::kDrs), {backplane});
+      run_failure_scenario(base_config("drs"), {backplane});
   EXPECT_TRUE(result.recovered);
   EXPECT_LT(result.app_outage, 500_ms);
 }
@@ -86,7 +104,7 @@ TEST(Comparison, DrsHandlesCrossSplitWithRelay) {
       net::ClusterNetwork::nic_component(0, 1),
       net::ClusterNetwork::nic_component(1, 0)};
   const ScenarioResult result =
-      run_failure_scenario(base_config(ProtocolKind::kDrs), cross);
+      run_failure_scenario(base_config("drs"), cross);
   EXPECT_TRUE(result.recovered);
   EXPECT_LT(result.app_outage, 1_s);  // includes relay discovery
 }
@@ -96,27 +114,45 @@ TEST(Comparison, StaticCrossSplitIsFatalButRipSurvivesEventually) {
       net::ClusterNetwork::nic_component(0, 1),
       net::ClusterNetwork::nic_component(1, 0)};
   const ScenarioResult stat =
-      run_failure_scenario(base_config(ProtocolKind::kStatic), cross);
+      run_failure_scenario(base_config("static"), cross);
   EXPECT_FALSE(stat.recovered);
 
-  ScenarioConfig rip_config = base_config(ProtocolKind::kRip);
+  ScenarioConfig rip_config = base_config("rip");
   rip_config.measure = 20_s;
   const ScenarioResult rip = run_failure_scenario(rip_config, cross);
   EXPECT_TRUE(rip.recovered);  // multi-hop distance vector finds the relay
 }
 
 TEST(Comparison, NoFailureMeansNoLoss) {
-  const ScenarioResult result =
-      run_failure_scenario(base_config(ProtocolKind::kDrs), {});
+  const ScenarioResult result = run_failure_scenario(base_config("drs"), {});
   EXPECT_TRUE(result.recovered);  // first post-"injection" probe succeeds
   EXPECT_EQ(result.probes_lost, 0u);
   EXPECT_LT(result.app_outage, 100_ms);
 }
 
-TEST(ProtocolKindNames, Strings) {
-  EXPECT_STREQ(to_string(ProtocolKind::kDrs), "drs");
-  EXPECT_STREQ(to_string(ProtocolKind::kRip), "rip");
-  EXPECT_STREQ(to_string(ProtocolKind::kStatic), "static");
+TEST(Comparison, UnknownPolicyNameListsRegisteredNames) {
+  try {
+    (void)run_failure_scenario(base_config("ripv9"), {});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("ripv9"), std::string::npos);
+    EXPECT_NE(what.find("drs"), std::string::npos) << what;
+    EXPECT_NE(what.find("static_resilient"), std::string::npos) << what;
+  }
+}
+
+TEST(Comparison, DetectionTrackingReportsTableChange) {
+  ScenarioConfig config = base_config("drs");
+  config.track_detection = true;
+  const ScenarioResult result =
+      run_failure_scenario(config, peer_primary_nic_failure());
+  ASSERT_TRUE(result.detection.has_value());
+  EXPECT_GT(*result.detection, util::Duration::zero());
+  // DRS failover (2 x 50 ms probes) should show up well within a second.
+  EXPECT_LT(*result.detection, 1_s);
+  EXPECT_GT(result.path_hops_before, 0u);
+  EXPECT_GT(result.path_hops_after, 0u);
 }
 
 }  // namespace
