@@ -23,6 +23,7 @@ ChaosReport run_chaos(const ChaosOptions& options) {
         // after the first campaign warms it up, the rest of the batch runs
         // against recycled chunks. Arenas are thread-local because Arena is
         // deliberately not thread-safe (see util/arena.hpp).
+        // drs-lint: shared-state-ok(per-worker scratch arena, thread-confined by construction; reset per campaign)
         thread_local util::Arena arena;
         arena.reset();
         return run_campaign(options.seed, options.first_campaign + i,

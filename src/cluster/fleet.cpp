@@ -161,7 +161,6 @@ bool Fleet::component_failed(net::ComponentIndex index) const {
 }
 
 std::string Fleet::describe_component(net::ComponentIndex index) const {
-  // drs-lint: hotpath-alloc-ok(lazy debug rendering, never on the hot path)
   std::ostringstream out;
   const net::ComponentIndex cluster_span = config_.clusters * cluster_stride();
   if (index < cluster_span) {

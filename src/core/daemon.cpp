@@ -28,6 +28,7 @@ void ProbeTimeoutSweeper::note_deadline(DrsDaemon& daemon, std::uint32_t entry,
   const std::uint64_t rank = sim_.claim_event_rank();
   if (deadline_ns < last_deadline_ns_) monotone_ = false;
   last_deadline_ns_ = deadline_ns;
+  // drs-lint: hotpath-purity-ok(amortized: record vector reaches in-flight-window size once, then recycles capacity)
   records_.push_back(Record{deadline_ns, rank, &daemon, entry});
   // An already-pending earlier scan covers this deadline (it re-arms itself
   // forward when it fires); with fixed timeouts that is every non-idle send.
@@ -365,6 +366,7 @@ void DrsDaemon::send_entry_probe(std::uint32_t entry) {
   sweeper_->note_deadline(*this, entry, deadline);
   const std::uint16_t seq =
       icmp_.send_echo(net::cluster_ip(network, peer), options);
+  // drs-lint: hotpath-purity-ok(amortized: seq map holds at most the in-flight probe window, rehashes only while warming)
   probe_seq_.insert(seq, entry);
   sent_ns_[entry] = now;
   table_.mark_sent(entry, seq, deadline);
@@ -532,6 +534,7 @@ void DrsDaemon::set_mode(NodeId peer, PeerRouteMode mode, NodeId relay,
                  state.relay, state.relay_network,
                  net::cluster_ip(state.relay_network, state.relay));
   }
+  // drs-lint: hotpath-purity-ok(runs only on a mode transition, a rare reconvergence event, not per probe)
   metrics_.route_changes.push_back(RouteChange{host_.simulator().now(), peer,
                                                previous, mode, relay});
   if (previous == PeerRouteMode::kDirect && mode != PeerRouteMode::kDirect) {
@@ -697,7 +700,7 @@ void DrsDaemon::sync_routes() {
   // ordering of failures/repairs/lease churn can leave stale state behind.
   std::map<std::uint32_t, net::Route> desired;
 
-  auto add = [&](net::Ipv4Addr dst, NetworkId out_if, net::Ipv4Addr next_hop) {
+  auto want_route = [&](net::Ipv4Addr dst, NetworkId out_if, net::Ipv4Addr next_hop) {
     desired[dst.value()] = net::Route{
         .prefix = dst,
         .prefix_len = 32,
@@ -717,7 +720,7 @@ void DrsDaemon::sync_routes() {
       for (NetworkId k = 0; k < net::kNetworksPerHost; ++k) {
         const NetworkId other = static_cast<NetworkId>(1 - k);
         if (!links_.usable(endpoint, k) && links_.usable(endpoint, other)) {
-          add(net::cluster_ip(k, endpoint), other, net::cluster_ip(other, endpoint));
+          want_route(net::cluster_ip(k, endpoint), other, net::cluster_ip(other, endpoint));
         }
       }
     }
@@ -731,18 +734,18 @@ void DrsDaemon::sync_routes() {
       case PeerRouteMode::kUnreachable:
         break;
       case PeerRouteMode::kViaNetworkA:
-        add(net::cluster_ip(net::kNetworkB, peer), net::kNetworkA,
-            net::cluster_ip(net::kNetworkA, peer));
+        want_route(net::cluster_ip(net::kNetworkB, peer), net::kNetworkA,
+                   net::cluster_ip(net::kNetworkA, peer));
         break;
       case PeerRouteMode::kViaNetworkB:
-        add(net::cluster_ip(net::kNetworkA, peer), net::kNetworkB,
-            net::cluster_ip(net::kNetworkB, peer));
+        want_route(net::cluster_ip(net::kNetworkA, peer), net::kNetworkB,
+                   net::cluster_ip(net::kNetworkB, peer));
         break;
       case PeerRouteMode::kRelay: {
         const net::Ipv4Addr relay_addr =
             net::cluster_ip(state.relay_network, state.relay);
-        add(net::cluster_ip(net::kNetworkA, peer), state.relay_network, relay_addr);
-        add(net::cluster_ip(net::kNetworkB, peer), state.relay_network, relay_addr);
+        want_route(net::cluster_ip(net::kNetworkA, peer), state.relay_network, relay_addr);
+        want_route(net::cluster_ip(net::kNetworkB, peer), state.relay_network, relay_addr);
         break;
       }
     }
@@ -755,6 +758,7 @@ void DrsDaemon::sync_routes() {
     if (route.origin != net::RouteOrigin::kDrs) continue;
     auto want = desired.find(route.prefix.value());
     if (want == desired.end()) {
+      // drs-lint: hotpath-purity-ok(route reconciliation runs only on a mode transition, not per probe)
       stale.push_back(route.prefix);
     } else if (want->second.out_ifindex == route.out_ifindex &&
                want->second.next_hop == route.next_hop) {

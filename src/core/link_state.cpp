@@ -56,6 +56,7 @@ bool LinkStateTable::record_probe(net::NodeId peer, net::NetworkId network,
     if (e.consecutive_failures >= policy_.failures_to_down) {
       if (e.state != LinkState::kDown && policy_.flap_threshold > 0) {
         // A fresh DOWN verdict: account it against the flap budget.
+        // drs-lint: hotpath-purity-ok(runs only on a DOWN transition; deque stays bounded by the flap window)
         e.recent_downs.push_back(now);
         while (!e.recent_downs.empty() &&
                now - e.recent_downs.front() > policy_.flap_window) {
@@ -72,6 +73,7 @@ bool LinkStateTable::record_probe(net::NodeId peer, net::NetworkId network,
     }
   }
   if (e.state != before) {
+    // drs-lint: hotpath-purity-ok(runs only on a link-state transition, a rare event, not per probe)
     history_.push_back(LinkTransition{now, peer, network, before, e.state});
     DRS_TRACE_EVENT(tracer_, .at_ns = now.ns(),
                     .kind = obs::TraceEventKind::kLinkChange, .node = self_,

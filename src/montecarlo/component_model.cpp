@@ -12,6 +12,7 @@ void sample_failures(std::int64_t nodes, std::int64_t failures, util::Rng& rng,
   assert(failures >= 0 && failures <= analytic::component_count(nodes));
   out.clear();
   // thread_local scratch keeps the hot Monte-Carlo loop allocation-free.
+  // drs-lint: shared-state-ok(thread-confined scratch buffer; contents never outlive one call)
   thread_local std::vector<std::uint32_t> picks;
   rng.sample_distinct(static_cast<std::uint64_t>(analytic::component_count(nodes)),
                       static_cast<std::size_t>(failures), picks);

@@ -117,7 +117,6 @@ class Backplane {
   /// Observability hook invoked for every frame accepted onto the medium
   /// (before loss is decided). Used by net::FrameTracer. Registration-time
   /// plumbing, not per-frame work.
-  // drs-lint: hotpath-alloc-ok(cold registration hook, set once per run)
   using TransmitHook = std::function<void(const Frame&, util::SimTime at)>;
   void set_transmit_hook(TransmitHook hook) { transmit_hook_ = std::move(hook); }
 

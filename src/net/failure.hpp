@@ -65,7 +65,6 @@ class FailureInjector {
   /// Observation hook: called after every applied action (scheduled or
   /// immediate), with the entry just logged. Runtime invariant checkers use
   /// this to learn topology-change times without owning the schedule.
-  // drs-lint: hotpath-alloc-ok(cold observation hook, set once per campaign)
   using Observer = std::function<void(const LogEntry&)>;
   void set_observer(Observer observer) { observer_ = std::move(observer); }
 

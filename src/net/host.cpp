@@ -50,6 +50,7 @@ bool Host::transmit(NetworkId ifindex, Ipv4Addr next_hop, const Packet& packet) 
   auto arp = arp_.find(next_hop);
   if (arp == arp_.end()) {
     ++counters_.drop_no_arp;
+    // drs-lint: hotpath-purity-ok(debug log formats only when DRS_DEBUG compiled in; drop path)
     DRS_DEBUG("host", "node %u: no ARP entry for %s", id_, next_hop.to_string().c_str());
     return false;
   }

@@ -22,7 +22,6 @@ namespace drs::net {
 
 /// Receives packets addressed to this host (or broadcast) for one protocol.
 /// Bound once per protocol at service construction, then only invoked.
-// drs-lint: hotpath-alloc-ok(cold registration hook, bound once per protocol)
 using PacketHandler = std::function<void(const Packet&, NetworkId in_ifindex)>;
 
 /// True for the limited broadcast and the cluster subnet broadcasts.
@@ -92,7 +91,6 @@ class Host : public FrameSink {
   void on_frame(NetworkId ifindex, const Frame& frame) override;
 
   /// Test/observability hook: sees every packet delivered or forwarded.
-  // drs-lint: hotpath-alloc-ok(cold test hook, set once per run)
   using Tap = std::function<void(const Packet&, NetworkId in_ifindex, bool forwarded)>;
   void set_tap(Tap tap) { tap_ = std::move(tap); }
 

@@ -6,14 +6,12 @@
 namespace drs::net {
 
 std::string FailureDomain::describe_component(ComponentIndex index) const {
-  // drs-lint: hotpath-alloc-ok(lazy debug rendering, never on the hot path)
   std::ostringstream out;
   out << "component(" << index << ")";
   return out.str();
 }
 
 std::string ComponentRef::to_string() const {
-  // drs-lint: hotpath-alloc-ok(lazy debug rendering, never on the hot path)
   std::ostringstream out;
   if (kind == Kind::kNic) {
     out << "nic(node=" << node << ", net=" << static_cast<int>(network) << ")";

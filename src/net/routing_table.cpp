@@ -17,7 +17,6 @@ const char* to_string(RouteOrigin origin) {
 }
 
 std::string Route::to_string() const {
-  // drs-lint: hotpath-alloc-ok(lazy debug rendering, never on the hot path)
   std::ostringstream out;
   out << prefix.to_string() << "/" << static_cast<int>(prefix_len) << " dev nic"
       << static_cast<int>(out_ifindex);
@@ -37,8 +36,9 @@ void RoutingTable::install(const Route& route) {
       return;
     }
   }
+  // drs-lint: hotpath-purity-ok(route install happens on reconvergence, not per packet; table stays small)
   routes_.push_back(route);
-  installed_at_.push_back(++generation_);
+  installed_at_.push_back(++generation_);  // drs-lint: hotpath-purity-ok(same reconvergence-only path)
 }
 
 std::size_t RoutingTable::remove(Ipv4Addr prefix, std::uint8_t prefix_len,
@@ -89,7 +89,6 @@ std::optional<Route> RoutingTable::lookup(Ipv4Addr dst) const {
 }
 
 std::string RoutingTable::to_string() const {
-  // drs-lint: hotpath-alloc-ok(lazy debug rendering, never on the hot path)
   std::ostringstream out;
   for (const auto& r : routes_) out << r.to_string() << "\n";
   return out.str();

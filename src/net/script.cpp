@@ -207,7 +207,6 @@ void schedule_script(FailureInjector& injector,
 }
 
 std::string format_script(const std::vector<ScriptAction>& actions) {
-  // drs-lint: hotpath-alloc-ok(lazy debug rendering, never on the hot path)
   std::ostringstream out;
   for (const ScriptAction& action : actions) {
     out << "@" << action.at.ns() << "ns " << (action.fail ? "fail" : "restore")

@@ -5,7 +5,6 @@
 namespace drs::net {
 
 std::string TraceRecord::to_string() const {
-  // drs-lint: hotpath-alloc-ok(lazy debug rendering, never on the hot path)
   std::ostringstream out;
   out << util::to_string(at) << " net" << static_cast<int>(network) << " "
       << src_ip.to_string() << " > " << dst_ip.to_string() << " "
@@ -44,6 +43,7 @@ void FrameTracer::on_frame(NetworkId network, const Frame& frame, util::SimTime 
   if (filter_ && !filter_(record)) return;
   ++seen_;
   if (records_.size() == capacity_) records_.pop_front();
+  // drs-lint: hotpath-purity-ok(observation-only ring, bounded by capacity_; frame tracing is a debug attachment)
   records_.push_back(std::move(record));
 }
 
@@ -56,7 +56,6 @@ std::vector<TraceRecord> FrameTracer::by_protocol(Protocol protocol) const {
 }
 
 std::string FrameTracer::dump() const {
-  // drs-lint: hotpath-alloc-ok(lazy debug rendering, never on the hot path)
   std::ostringstream out;
   for (const auto& record : records_) out << record.to_string() << "\n";
   return out.str();

@@ -40,7 +40,6 @@ class FrameTracer {
   FrameTracer& operator=(const FrameTracer&) = delete;
 
   /// Optional filter: only frames for which it returns true are recorded.
-  // drs-lint: hotpath-alloc-ok(cold trace filter, set once per tracer)
   using Filter = std::function<bool(const TraceRecord&)>;
   void set_filter(Filter filter) { filter_ = std::move(filter); }
 

@@ -84,6 +84,7 @@ class Tracer {
   std::size_t next_ = 0;  // overwrite cursor once wrapped_
   bool wrapped_ = false;
   std::uint64_t emitted_ = 0;
+  // drs-lint: shared-state-ok(process-wide diagnostics counter; monotonic atomic, no ordering dependence)
   static std::atomic<std::uint64_t> rings_allocated_;
 };
 

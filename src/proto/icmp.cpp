@@ -11,7 +11,6 @@ namespace drs::proto {
 
 std::string IcmpPayload::describe() const {
   // Debug-path only: nothing on the probe hot path calls describe().
-  // drs-lint: hotpath-alloc-ok(lazy debug rendering, never on the hot path)
   std::ostringstream out;
   out << (type == Type::kEchoRequest ? "echo-request" : "echo-reply")
       << " ident=" << ident << " seq=" << seq;

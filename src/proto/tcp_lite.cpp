@@ -12,7 +12,6 @@ namespace drs::proto {
 
 std::string TcpSegment::describe() const {
   // Debug-path only: trace rendering, never called while segments move.
-  // drs-lint: hotpath-alloc-ok(lazy debug rendering, never on the hot path)
   std::ostringstream out;
   out << "tcp " << src_port << "->" << dst_port;
   if (syn) out << " SYN";
@@ -110,6 +109,7 @@ void TcpConnection::send_segment(std::uint64_t seq, std::uint32_t len, bool syn,
   const std::uint32_t seq_len = len + (syn ? 1u : 0u) + (fin ? 1u : 0u);
   if (seq_len > 0) {
     if (!is_retransmission) {
+      // drs-lint: hotpath-purity-ok(amortized: in-flight list is bounded by the send window; capacity reached once)
       in_flight_.push_back(InFlight{seq, seq_len,
                                     service_.host().simulator().now(),
                                     /*retransmitted=*/false, syn, fin});
@@ -184,6 +184,7 @@ void TcpConnection::on_rto() {
                   .b = static_cast<std::int64_t>(retries_));
   if (++retries_ > config_.max_retries) {
     DRS_INFO("tcp", "port %u -> %s: retry budget exhausted, resetting",
+             // drs-lint: hotpath-purity-ok(formats once per connection reset, a terminal event, not per segment)
              local_port_, peer_.to_string().c_str());
     send_rst();
     enter(State::kReset);
@@ -375,6 +376,7 @@ void TcpService::on_packet(const net::Packet& packet, net::NetworkId in_ifindex)
     if (listener != listeners_.end()) {
       TcpConnectionPtr connection(
           // drs-lint: raw-new-ok(private ctor blocks make_shared; owned immediately)
+          // drs-lint: hotpath-purity-ok(once per accepted connection on SYN, not per segment)
           new TcpConnection(*this, packet.dst, packet.src, segment->dst_port,
                             segment->src_port, listener->second.config,
                             /*active_open=*/false));

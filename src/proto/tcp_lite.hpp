@@ -79,9 +79,7 @@ class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
 
   /// Fires with the cumulative in-order byte count each time data arrives.
   /// Bound once when the workload wires up a flow, not per segment.
-  // drs-lint: hotpath-alloc-ok(cold workload hook, bound once per flow)
   std::function<void(std::uint64_t delivered_total)> on_receive;
-  // drs-lint: hotpath-alloc-ok(cold workload hook, bound once per flow)
   std::function<void(State)> on_state_change;
 
   struct Stats {
@@ -158,7 +156,6 @@ class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
 };
 
 using TcpConnectionPtr = std::shared_ptr<TcpConnection>;
-// drs-lint: hotpath-alloc-ok(cold listener registration, set once per port)
 using AcceptHandler = std::function<void(TcpConnectionPtr)>;
 
 class TcpService {

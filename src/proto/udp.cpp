@@ -7,7 +7,6 @@
 namespace drs::proto {
 
 std::string UdpPayload::describe() const {
-  // drs-lint: hotpath-alloc-ok(lazy debug rendering, never on the hot path)
   std::ostringstream out;
   out << "udp " << src_port << "->" << dst_port << " " << data_bytes << "B";
   return out.str();

@@ -36,7 +36,6 @@ struct UdpDatagram {
   net::NetworkId in_ifindex = 0;
 };
 
-// drs-lint: hotpath-alloc-ok(cold port binding, registered once per service)
 using UdpHandler = std::function<void(const UdpDatagram&)>;
 
 class UdpService {

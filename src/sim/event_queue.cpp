@@ -16,6 +16,7 @@ std::uint32_t EventQueue::acquire_slot() {
     return slot;
   }
   const auto slot = static_cast<std::uint32_t>(slots_.size());
+  // drs-lint: hotpath-purity-ok(amortized: slot pool grows to peak pending-event count once, then recycles via the free list)
   slots_.emplace_back();
   slots_[slot].gen = 1;
   return slot;
@@ -28,6 +29,7 @@ void EventQueue::release_slot(std::uint32_t slot) {
 }
 
 void EventQueue::heap_push(std::vector<Ready>& heap, Ready entry) {
+  // drs-lint: hotpath-purity-ok(amortized: ready heap reaches its per-tick high-water mark once, capacity is reused)
   heap.push_back(entry);
   std::push_heap(heap.begin(), heap.end(), [](const Ready& a, const Ready& b) {
     if (a.time_ns != b.time_ns) return a.time_ns > b.time_ns;
@@ -57,6 +59,7 @@ void EventQueue::place(std::uint32_t slot, std::int64_t t, std::uint64_t seq) {
     const std::uint64_t bucket = ut >> shift;
     if (bucket - (uh >> shift) < kBuckets) {
       const auto b = static_cast<std::size_t>(bucket & (kBuckets - 1));
+      // drs-lint: hotpath-purity-ok(amortized: wheel buckets keep their capacity across rotations)
       buckets_[level][b].push_back(slot);
       occupied_[level] |= std::uint64_t{1} << b;
       ++wheel_count_;

@@ -13,13 +13,6 @@ namespace {
 
 constexpr char kMagic[] = "drs-cache v1";
 
-// Distinguishes concurrent writers' temp files; the value itself is
-// meaningless, it only needs to be unique per in-flight put.
-std::uint64_t next_temp_token() {
-  static std::atomic<std::uint64_t> counter{0};
-  return counter.fetch_add(1, std::memory_order_relaxed);
-}
-
 bool key_ok(const std::string& key) {
   return !key.empty() && key.find('\n') == std::string::npos;
 }
@@ -65,7 +58,8 @@ bool DiskCache::put(const std::string& key, const std::string& payload) {
   if (!enabled() || !key_ok(key)) return false;
   const std::string final_path = entry_path(key);
   const std::string temp_path =
-      final_path + ".tmp." + to_hex64(next_temp_token());
+      final_path + ".tmp." +
+      to_hex64(temp_token_.fetch_add(1, std::memory_order_relaxed));
   {
     std::ofstream out(temp_path, std::ios::binary | std::ios::trunc);
     if (!out) return false;

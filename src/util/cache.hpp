@@ -51,6 +51,11 @@ class DiskCache {
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
   std::atomic<std::uint64_t> stores_{0};
+  // Distinguishes concurrent writers' temp files; the value itself is
+  // meaningless, it only needs to be unique per in-flight put on this cache.
+  // A member (not a process-wide static) so independent caches stay
+  // independent when simulations shard across threads.
+  std::atomic<std::uint64_t> temp_token_{0};
 };
 
 }  // namespace drs::util

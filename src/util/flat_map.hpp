@@ -127,6 +127,7 @@ class FlatMap {
     std::vector<std::uint8_t> old_full;
     old_slots.swap(slots_);
     old_full.swap(full_);
+    // drs-lint: hotpath-purity-ok(amortized: geometric rehash, callers reserve() their steady-state size up front)
     slots_.resize(new_capacity);
     full_.assign(new_capacity, 0);
     size_ = 0;

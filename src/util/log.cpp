@@ -8,6 +8,7 @@
 namespace drs::util {
 
 namespace {
+// drs-lint: shared-state-ok(process-wide log threshold, set once at startup before simulations run)
 LogLevel g_level = LogLevel::kWarn;
 std::function<void(LogLevel, const std::string&)> g_sink;
 

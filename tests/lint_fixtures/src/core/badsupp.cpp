@@ -1,4 +1,6 @@
-// Two malformed suppressions: an empty reason and an unknown rule id.
+// Three malformed suppressions: an empty reason, an unknown rule id, and a
+// typo'd rule token that does not end in -ok — each is a finding, never a
+// silent no-op.
 namespace fixture {
 
 // drs-lint: banned-ok()
@@ -6,5 +8,8 @@ int a() { return 1; }
 
 // drs-lint: nosuchrule-ok(reason here)
 int b() { return 2; }
+
+// drs-lint: shared-state-okay(the rule token must end in -ok)
+int c() { return 3; }
 
 }  // namespace fixture

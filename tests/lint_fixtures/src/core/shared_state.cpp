@@ -1,0 +1,28 @@
+// shared-state fixture: every mutable static-storage flavour fires once —
+// a namespace-scope global, a static class member, a function-local
+// static, and a thread_local. The const global is exempt and the
+// annotated global is a suppressed finding.
+#include <cstdint>
+
+namespace fixture {
+
+int g_mutable_counter = 0;  // fires: namespace-scope global
+const int kConfigLimit = 8;  // clean: const is sealed before run start
+// drs-lint: shared-state-ok(fixture proves shared-state suppression works)
+int g_annotated = 0;
+
+struct Stats {
+  static std::uint64_t total_;  // fires: static member
+};
+
+int bump() {
+  static int calls = 0;  // fires: function-local static
+  return ++calls;
+}
+
+int scratch() {
+  thread_local int t_scratch = 0;  // fires: thread_local
+  return ++t_scratch;
+}
+
+}  // namespace fixture

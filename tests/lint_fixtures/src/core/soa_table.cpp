@@ -1,23 +1,30 @@
-// hotpath-alloc fixture for a *file-override* hot-path module: this file
-// lives in core/ but lint.conf maps it to the hot-path `peertable` module
-// (mirroring the real tree's `file core/peer_table = peertable`), so the
-// allocation ban must follow the override, not the directory.
-#include <sstream>
-#include <string>
+// hotpath-purity fixture for a multi-hop chain: SoaTable::sweep (declared
+// hot) -> compact -> grow, where grow resizes. The finding must print the
+// full chain. The file also exercises the config's file-override module
+// mapping (core/soa_table = peertable) for the layering rules.
+#include <vector>
 
 namespace fixture {
 
-struct SoaTable {
-  int slots = 0;
+class SoaTable {
+ public:
+  void sweep();
+
+ private:
+  void compact();
+  void grow();
+  std::vector<int> slots_;
+  int live_ = 0;
 };
 
-std::string dump(const SoaTable& table) {
-  std::ostringstream out;  // fires: override puts this file on the hot path
-  out << "slots=" << table.slots;
-  return out.str();
+void SoaTable::sweep() { compact(); }
+
+void SoaTable::compact() {
+  if (live_ == 0) grow();
 }
 
-// drs-lint: hotpath-alloc-ok(fixture cold site in an overridden module)
-std::string cold_label() { return std::string("soa"); }
+void SoaTable::grow() {
+  slots_.resize(slots_.size() * 2 + 1);  // fires: sweep -> compact -> grow
+}
 
 }  // namespace fixture

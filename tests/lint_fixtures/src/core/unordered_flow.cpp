@@ -1,0 +1,42 @@
+// unordered-flow fixture: iterating a container annotated unordered-ok in
+// a function that can reach a declared emission sink (emit_json, declared
+// in hotpaths.txt) is a finding — the annotation promised the iteration
+// order never leaks into output. The same iteration behind an
+// unordered-flow-ok annotation is suppressed, and iteration in a function
+// that reaches no sink is clean.
+#include <string>
+
+#include "core/unordered.hpp"
+
+namespace fixture {
+
+std::string emit_json(int value) {
+  return "{\"v\":" + std::to_string(value) + "}";
+}
+
+std::string dump_fleet(const Fleet& fleet) {
+  std::string out;
+  // fires: range-for over 'annotated' flows into the emit_json sink
+  for (const auto& entry : fleet.annotated) {
+    out += emit_json(entry.second);
+  }
+  return out;
+}
+
+std::string dump_fleet_sorted(const Fleet& fleet) {
+  std::string out;
+  // drs-lint: unordered-flow-ok(entries are copied and sorted before emission in the real code path)
+  for (const auto& entry : fleet.annotated) {
+    out += emit_json(entry.second);
+  }
+  return out;
+}
+
+int count_fleet(const Fleet& fleet) {
+  int total = 0;
+  // clean: count_fleet reaches no emission sink
+  for (const auto& entry : fleet.annotated) total += entry.second;
+  return total;
+}
+
+}  // namespace fixture

@@ -1,9 +1,13 @@
-// hotpath-alloc fixture: three heap-allocating idioms fire in a declared
-// hotpath-module, and one annotated cold site is suppressed.
-#include <functional>
-#include <memory>
-#include <sstream>
-#include <string>
+// hotpath-purity fixture: Engine::dispatch is declared `hot` in
+// hotpaths.txt, so everything reachable from it must stay allocation-,
+// lock- and exception-free. Three violations fire (container growth, a
+// lock, a throw), one annotated amortized site is a suppressed finding,
+// and cold_audit stays clean because its only call site carries a
+// hotpath-purity-ok annotation — that prunes the call-graph edge, so
+// the function is never walked.
+#include <mutex>
+#include <stdexcept>
+#include <vector>
 
 namespace fixture {
 
@@ -11,20 +15,42 @@ struct Packet {
   int bytes = 0;
 };
 
-// Fires: std::function type-erases onto the heap.
-std::function<void(const Packet&)> handler;
+class Engine {
+ public:
+  void dispatch(const Packet& packet);
 
-std::string describe(const Packet& packet) {
-  std::ostringstream out;  // fires: per-use stream allocation
-  out << "packet " << packet.bytes << "B";
-  return out.str();
+ private:
+  void enqueue(const Packet& packet);
+  void guard(const Packet& packet);
+  void cold_audit(const Packet& packet);
+  std::vector<Packet> backlog_;
+  std::vector<Packet> scratch_;
+  std::vector<Packet> audit_log_;
+  std::mutex gate_;
+};
+
+void Engine::dispatch(const Packet& packet) {
+  enqueue(packet);
+  guard(packet);
+  // drs-lint: hotpath-purity-ok(audit runs only under --deep-audit; the annotation prunes this edge)
+  cold_audit(packet);
 }
 
-std::string label() {
-  return std::string("hot");  // fires: std::string temporary
+void Engine::enqueue(const Packet& packet) {
+  backlog_.push_back(packet);  // fires: dispatch -> enqueue grows a vector
+  // drs-lint: hotpath-purity-ok(fixture cold site; proves purity suppression works)
+  scratch_.push_back(packet);
 }
 
-// drs-lint: hotpath-alloc-ok(fixture cold site; proves the annotation works)
-std::shared_ptr<Packet> make_packet() { return std::make_shared<Packet>(); }
+void Engine::guard(const Packet& packet) {
+  std::scoped_lock hold(gate_);  // fires: blocking lock on the hot path
+  if (packet.bytes < 0) {
+    throw std::runtime_error("negative size");  // fires: throw on hot path
+  }
+}
+
+void Engine::cold_audit(const Packet& packet) {
+  audit_log_.push_back(packet);  // clean: reachable only via the pruned edge
+}
 
 }  // namespace fixture

@@ -1,11 +1,15 @@
 // Lives under the util/rng allowlist prefix, so the entropy source below is
-// NOT a finding — this is the one place allowed to touch hardware entropy.
+// NOT a banned finding and the mutable counter is NOT a shared-state
+// finding — this is the one place allowed to own process-wide randomness.
 #include <random>
 
 namespace fixture {
 
+unsigned g_entropy_calls = 0;
+
 unsigned hardware_entropy() {
   std::random_device rd;
+  ++g_entropy_calls;
   return rd();
 }
 

@@ -1,0 +1,152 @@
+// Call-graph construction and the reachability queries. See callgraph.hpp.
+#include "callgraph.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+
+namespace drslint {
+namespace {
+
+/// May a file in module `from` call a function defined in module `to`?
+/// Mirrors the include-layering rule: same module, declared dep, or '*'.
+/// Unmapped modules (rare; they already carry a `layer` finding) stay
+/// permissive so the graph never silently loses edges.
+bool module_edge_ok(const Config& config, const std::string& from,
+                    const std::string& to) {
+  if (from.empty() || to.empty() || from == to) return true;
+  auto it = config.modules.find(from);
+  if (it == config.modules.end()) return true;
+  return it->second.any || it->second.deps.count(to) != 0;
+}
+
+std::vector<std::size_t> match_roots(const SymbolIndex& index,
+                                     const std::vector<std::string>& specs,
+                                     std::vector<std::string>* spec_of) {
+  std::vector<std::size_t> roots;
+  for (std::size_t i = 0; i < index.functions.size(); ++i) {
+    for (const std::string& spec : specs) {
+      if (name_matches(index.functions[i].qualified, spec)) {
+        roots.push_back(i);
+        if (spec_of != nullptr) (*spec_of)[i] = spec;
+        break;
+      }
+    }
+  }
+  return roots;
+}
+
+}  // namespace
+
+CallGraph build_call_graph(const Config& config,
+                           const std::vector<SourceFile>& files,
+                           const SymbolIndex& index) {
+  CallGraph graph;
+  graph.adj.resize(index.functions.size());
+  for (std::size_t i = 0; i < index.functions.size(); ++i) {
+    const FunctionDef& caller = index.functions[i];
+    const std::string& caller_module = files[caller.file_index].module;
+    std::set<std::size_t> out;
+    for (const std::string& callee : caller.calls) {
+      auto it = index.functions_by_last.find(callee);
+      if (it == index.functions_by_last.end()) continue;
+      for (std::size_t j : it->second) {
+        if (j == i) continue;
+        const std::string& callee_module = files[index.functions[j].file_index].module;
+        if (module_edge_ok(config, caller_module, callee_module)) out.insert(j);
+      }
+    }
+    graph.adj[i].assign(out.begin(), out.end());
+  }
+  return graph;
+}
+
+HotReach reach_from_entries(const CallGraph& graph, const SymbolIndex& index,
+                            const std::vector<std::string>& entry_specs) {
+  const std::size_t n = index.functions.size();
+  HotReach reach;
+  reach.reached.assign(n, false);
+  reach.parent.assign(n, kNoFunction);
+  reach.entry.assign(n, "");
+
+  std::deque<std::size_t> queue;
+  for (std::size_t root : match_roots(index, entry_specs, &reach.entry)) {
+    if (!reach.reached[root]) {
+      reach.reached[root] = true;
+      queue.push_back(root);
+    }
+  }
+  while (!queue.empty()) {
+    const std::size_t v = queue.front();
+    queue.pop_front();
+    for (std::size_t w : graph.adj[v]) {
+      if (reach.reached[w]) continue;
+      reach.reached[w] = true;
+      reach.parent[w] = v;
+      reach.entry[w] = reach.entry[v];
+      queue.push_back(w);
+    }
+  }
+  return reach;
+}
+
+SinkReach reach_to_sinks(const CallGraph& graph, const SymbolIndex& index,
+                         const std::vector<std::string>& sink_specs) {
+  const std::size_t n = index.functions.size();
+  SinkReach reach;
+  reach.reaches.assign(n, false);
+  reach.next.assign(n, kNoFunction);
+  reach.sink.assign(n, "");
+
+  std::vector<std::vector<std::size_t>> radj(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    for (std::size_t w : graph.adj[v]) radj[w].push_back(v);
+  }
+  std::deque<std::size_t> queue;
+  for (std::size_t root : match_roots(index, sink_specs, &reach.sink)) {
+    if (!reach.reaches[root]) {
+      reach.reaches[root] = true;
+      queue.push_back(root);
+    }
+  }
+  while (!queue.empty()) {
+    const std::size_t v = queue.front();
+    queue.pop_front();
+    for (std::size_t w : radj[v]) {
+      if (reach.reaches[w]) continue;
+      reach.reaches[w] = true;
+      reach.next[w] = v;
+      reach.sink[w] = reach.sink[v];
+      queue.push_back(w);
+    }
+  }
+  return reach;
+}
+
+std::string hot_chain(const HotReach& reach, const SymbolIndex& index,
+                      std::size_t func) {
+  std::vector<std::string> names;
+  for (std::size_t v = func; v != kNoFunction; v = reach.parent[v]) {
+    names.push_back(index.functions[v].qualified);
+  }
+  std::reverse(names.begin(), names.end());
+  std::string out;
+  for (const std::string& name : names) {
+    if (!out.empty()) out += " -> ";
+    out += name;
+  }
+  return out;
+}
+
+std::string sink_chain(const SinkReach& reach, const SymbolIndex& index,
+                       std::size_t func) {
+  std::string out;
+  for (std::size_t v = func; v != kNoFunction; v = reach.next[v]) {
+    if (!out.empty()) out += " -> ";
+    out += index.functions[v].qualified;
+  }
+  return out;
+}
+
+}  // namespace drslint

@@ -1,0 +1,64 @@
+// Pass 2 substrate: a conservative name-based call graph over the symbol
+// index, plus the two reachability queries the v2 rule families need.
+//
+// An edge F -> G exists when F's body calls an identifier equal to G's last
+// name component AND the layering DAG permits F's module to include G's
+// (same module, declared dep, or a `*` module). The name match deliberately
+// over-approximates — virtual calls, callbacks and overloads all resolve to
+// every same-named definition the layering allows — because the rules built
+// on top (hot-path purity, unordered->emission flow) must never miss a real
+// path. The DAG pruning is what keeps the over-approximation useful: sim's
+// `clear()` cannot reach chaos's `clear()` because sim may not include
+// chaos.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+#include "symbols.hpp"
+
+namespace drslint {
+
+inline constexpr std::size_t kNoFunction = static_cast<std::size_t>(-1);
+
+struct CallGraph {
+  // adj[i] = indices (into SymbolIndex::functions) that function i may call.
+  std::vector<std::vector<std::size_t>> adj;
+};
+
+CallGraph build_call_graph(const Config& config,
+                           const std::vector<SourceFile>& files,
+                           const SymbolIndex& index);
+
+/// Forward reachability from every function matching one of `entry_specs`
+/// (::-suffix match, see name_matches). parent[] lets a rule print the call
+/// chain entry -> ... -> f that made f hot.
+struct HotReach {
+  std::vector<bool> reached;
+  std::vector<std::size_t> parent;  // kNoFunction for roots / unreached
+  std::vector<std::string> entry;   // the entry spec that reached each node
+};
+HotReach reach_from_entries(const CallGraph& graph, const SymbolIndex& index,
+                            const std::vector<std::string>& entry_specs);
+
+/// Reverse reachability: which functions can reach a sink (emission site)?
+/// next[] points one hop *toward* the sink so the flow chain f -> ... ->
+/// sink can be printed.
+struct SinkReach {
+  std::vector<bool> reaches;
+  std::vector<std::size_t> next;  // kNoFunction at the sink itself
+  std::vector<std::string> sink;  // the sink spec at the end of the path
+};
+SinkReach reach_to_sinks(const CallGraph& graph, const SymbolIndex& index,
+                         const std::vector<std::string>& sink_specs);
+
+/// "entry -> a -> b": the hot chain ending at `func`, or the flow chain
+/// starting at `func`, rendered with unqualified-enough names for humans.
+std::string hot_chain(const HotReach& reach, const SymbolIndex& index,
+                      std::size_t func);
+std::string sink_chain(const SinkReach& reach, const SymbolIndex& index,
+                       std::size_t func);
+
+}  // namespace drslint

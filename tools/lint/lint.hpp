@@ -12,6 +12,19 @@
 //                  tools/lint/layers.txt (rules: layer, cycle, dead-header)
 //   API hygiene  — pragma-once, using-namespace, float, raw-new, nodiscard
 //
+// v2 adds a second, cross-TU pass (symbols.hpp + callgraph.hpp): a symbol
+// index and a conservative name-based call graph feed three more families:
+//
+//   shared-state   — non-const globals, function-local statics, static data
+//                    members and thread_locals: the precondition inventory
+//                    for sharding one simulation across worker threads
+//   hotpath-purity — no allocation, locking or throwing anywhere reachable
+//                    from the hot entry points declared in
+//                    tools/lint/hotpaths.txt (the offending chain is printed)
+//   unordered-flow — iteration over an annotated unordered container in a
+//                    function that can reach a trace/metric/JSON emission
+//                    sink (also declared in hotpaths.txt)
+//
 // See docs/STATIC-ANALYSIS.md for the rule catalog and suppression syntax.
 #pragma once
 
@@ -67,9 +80,16 @@ struct Config {
   // Longest-prefix overrides mapping a scan-relative path to a module.
   std::vector<std::pair<std::string, std::string>> file_modules;
   std::vector<std::string> banned_allow;  // scan-relative path prefixes
+  // Files allowed to hold shared mutable state (the seeded RNG, the virtual
+  // clock, registries sealed before any simulation runs).
+  std::vector<std::string> shared_state_allow;
   std::set<std::string> nodiscard_modules;
-  // Modules whose files may not allocate on the hot path (hotpath-alloc).
-  std::set<std::string> hotpath_modules;
+  // From the `hotpaths` companion file: hot entry points (reachability roots
+  // for hotpath-purity) and emission sinks (targets for unordered-flow).
+  // Both are ::-suffix-matched against qualified function names.
+  std::vector<std::string> hot_entries;
+  std::vector<std::string> sinks;
+  std::string hotpaths_path;  // where they were read from (diagnostics)
   std::string path;  // where the config was read from (for diagnostics)
 };
 
@@ -78,6 +98,10 @@ struct Finding {
   std::string file;  // root-relative
   int line = 0;
   std::string message;
+  // Call chain for cross-TU findings (hotpath-purity: entry -> ... -> the
+  // offending function; unordered-flow: iterator -> ... -> the sink).
+  // Empty for per-file findings.
+  std::vector<std::string> chain;
   bool suppressed = false;
   std::string reason;  // suppression reason when suppressed
 };

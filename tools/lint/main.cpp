@@ -60,7 +60,7 @@ std::string to_json(const std::string& root, const std::string& config_path,
                     const std::vector<drslint::Finding>& findings) {
   const Summary s = summarize(findings);
   std::string out = "{";
-  out += "\"drs_lint\":1";
+  out += "\"drs_lint\":2";
   out += ",\"root\":\"" + json_escape(root) + "\"";
   out += ",\"config\":\"" + json_escape(config_path) + "\"";
   out += ",\"files_scanned\":" + std::to_string(files_scanned);
@@ -72,6 +72,12 @@ std::string to_json(const std::string& root, const std::string& config_path,
     out += ",\"file\":\"" + json_escape(f.file) + "\"";
     out += ",\"line\":" + std::to_string(f.line);
     out += ",\"message\":\"" + json_escape(f.message) + "\"";
+    out += ",\"chain\":[";
+    for (std::size_t c = 0; c < f.chain.size(); ++c) {
+      if (c) out += ",";
+      out += "\"" + json_escape(f.chain[c]) + "\"";
+    }
+    out += "]";
     out += ",\"suppressed\":";
     out += f.suppressed ? "true" : "false";
     out += ",\"reason\":\"" + json_escape(f.reason) + "\"}";

@@ -1,10 +1,15 @@
-// The rule catalog: determinism audit, module layering, API hygiene.
+// The rule catalog: determinism audit, module layering, API hygiene, and
+// the v2 cross-TU families (shared-state, hotpath-purity, unordered-flow)
+// built on the symbol index + call graph.
 #include "lint.hpp"
 
 #include <algorithm>
 #include <cctype>
 #include <functional>
 #include <regex>
+
+#include "callgraph.hpp"
+#include "symbols.hpp"
 
 namespace drslint {
 namespace {
@@ -19,9 +24,11 @@ const std::vector<std::string> kRules = {
     "using-namespace", // using namespace in a header
     "float",           // float in src (doubles only: bit-exact cache keys)
     "raw-new",         // raw new/delete
-    "hotpath-alloc",   // heap-allocating idiom in a hot-path module
     "nodiscard",       // Result/validation function missing [[nodiscard]]
     "bad-suppression", // malformed drs-lint comment
+    "shared-state",    // mutable global / static local / static member
+    "hotpath-purity",  // alloc/lock/throw reachable from a hot entry point
+    "unordered-flow",  // unordered iteration that can reach an emission sink
 };
 
 bool is_word_char(char c) {
@@ -70,12 +77,14 @@ struct Emitter {
   std::vector<Finding>& findings;
   const SourceFile& file;
 
-  void emit(const std::string& rule, int line, const std::string& message) {
+  void emit(const std::string& rule, int line, const std::string& message,
+            std::vector<std::string> chain = {}) {
     Finding f;
     f.rule = rule;
     f.file = file.rel;
     f.line = line;
     f.message = message;
+    f.chain = std::move(chain);
     // File-scope findings (header-level facts) accept a suppression anywhere
     // in the file; line-scope findings need one on (or just above) the line.
     const bool file_scope =
@@ -149,51 +158,224 @@ void check_unordered(const SourceFile& file, Emitter& out) {
   }
 }
 
-/// Heap-allocating idioms are banned in the hot-path modules (the event
-/// loop, the packet path, the protocol services): std::function type-erases
-/// into the heap, make_shared allocates per call (util::make_pooled is the
-/// sanctioned arena-backed spelling), and ostringstream / std::string
-/// temporaries allocate per use. Cold registration hooks and debug-only
-/// formatters carry a 'hotpath-alloc-ok' annotation explaining why they
-/// never run per event.
-void check_hotpath_alloc(const Config& config, const SourceFile& file,
-                         Emitter& out) {
-  if (config.hotpath_modules.count(file.module) == 0) return;
-  for (std::size_t li = 0; li < file.lines.size(); ++li) {
-    const std::string& code = file.lines[li].code;
-    if (trim(code).rfind('#', 0) == 0) continue;  // #include <functional>
-    const int line_no = static_cast<int>(li) + 1;
-    std::size_t pos = find_token(code, "function");
-    while (pos != std::string::npos) {
-      if (pos + 8 < code.size() && code[pos + 8] == '<') {
-        out.emit("hotpath-alloc", line_no,
-                 "std::function type-erases captures onto the heap; use "
-                 "util::InlineFunction on the hot path, or annotate a cold "
-                 "hook with '// drs-lint: hotpath-alloc-ok(<why cold>)'");
+// --- cross-TU families (v2) ------------------------------------------------
+
+const char* state_kind_name(StateKind kind) {
+  switch (kind) {
+    case StateKind::kGlobal: return "namespace-scope global";
+    case StateKind::kStaticLocal: return "function-local static";
+    case StateKind::kStaticMember: return "static data member";
+    case StateKind::kThreadLocal: return "thread_local";
+  }
+  return "shared state";
+}
+
+/// The shared-state audit: every mutable symbol with static storage duration
+/// is a finding unless its file is allowlisted or the declaration carries a
+/// shared-state-ok annotation. This inventory is the precondition for
+/// sharding one simulation across worker threads (ROADMAP).
+void check_shared_state(const Config& config,
+                        const std::vector<SourceFile>& files,
+                        const SymbolIndex& index,
+                        std::vector<Finding>& findings) {
+  for (const StateVar& var : index.state) {
+    const SourceFile& file = files[var.file_index];
+    bool allowed = false;
+    for (const auto& prefix : config.shared_state_allow) {
+      if (file.scan_rel.compare(0, prefix.size(), prefix) == 0) {
+        allowed = true;
+        break;
       }
-      pos = find_token(code, "function", pos + 1);
     }
-    if (find_token(code, "make_shared") != std::string::npos) {
-      out.emit("hotpath-alloc", line_no,
-               "std::make_shared allocates per call; use "
-               "util::make_pooled(arena, ...) so payloads recycle through "
-               "the simulation arena, or annotate a cold site");
+    if (allowed) continue;
+    Emitter out{findings, file};
+    out.emit("shared-state", var.line,
+             std::string(state_kind_name(var.kind)) + " '" + var.name +
+                 "' is shared mutable state; sharded simulations would race "
+                 "on it — make it per-simulation, seal it const before run "
+                 "start, or annotate with '// drs-lint: "
+                 "shared-state-ok(<ownership story>)'");
+  }
+}
+
+/// Allocation, locking and throwing spellings that must not appear in any
+/// function reachable from a hot entry point. `reserve` is deliberately
+/// absent: pre-sizing is the sanctioned setup idiom.
+struct PurityToken {
+  const char* text;
+  const char* why;
+};
+const PurityToken kAllocTokens[] = {
+    {"new", "allocates"},
+    {"make_unique", "allocates"},
+    {"make_shared", "allocates"},
+    {"push_back", "may grow its container"},
+    {"emplace_back", "may grow its container"},
+    {"emplace", "may grow its container"},
+    {"insert", "may grow its container"},
+    {"resize", "may grow its container"},
+    {"append", "may grow its container"},
+    {"to_string", "builds a heap string"},
+    {"ostringstream", "allocates per use"},
+    {"stringstream", "allocates per use"},
+};
+const PurityToken kLockTokens[] = {
+    {"mutex", "locks"},
+    {"lock_guard", "locks"},
+    {"unique_lock", "locks"},
+    {"scoped_lock", "locks"},
+    {"shared_lock", "locks"},
+    {"condition_variable", "blocks"},
+};
+
+/// Hot-path purity via call-graph reachability: walk every function the
+/// declared entry points can reach and flag allocating / locking / throwing
+/// spellings, printing the call chain that makes the site hot.
+void check_hotpath_purity(const std::vector<SourceFile>& files,
+                          const SymbolIndex& index, const CallGraph& graph,
+                          const HotReach& reach,
+                          std::vector<Finding>& findings) {
+  (void)graph;
+  for (std::size_t fi = 0; fi < index.functions.size(); ++fi) {
+    if (!reach.reached[fi]) continue;
+    const FunctionDef& fn = index.functions[fi];
+    const SourceFile& file = files[fn.file_index];
+    Emitter out{findings, file};
+    std::vector<std::string> chain;
+    for (std::size_t v = fi; v != kNoFunction; v = reach.parent[v]) {
+      chain.push_back(index.functions[v].qualified);
     }
-    if (find_token(code, "ostringstream") != std::string::npos) {
-      out.emit("hotpath-alloc", line_no,
-               "ostringstream allocates per use; keep formatting in "
-               "debug-only code and annotate it, or build output off the "
-               "hot path");
+    std::reverse(chain.begin(), chain.end());
+    std::string chain_str;
+    for (const auto& link : chain) {
+      chain_str += (chain_str.empty() ? "" : " -> ") + link;
     }
-    pos = find_token(code, "string");
-    while (pos != std::string::npos) {
-      const std::size_t end = pos + 6;
-      if (end < code.size() && (code[end] == '(' || code[end] == '{')) {
-        out.emit("hotpath-alloc", line_no,
-                 "std::string temporary allocates; hot-path code should "
-                 "pass string_view / const char* or annotate a cold site");
+    const std::size_t begin = static_cast<std::size_t>(fn.body_begin) - 1;
+    const std::size_t end =
+        std::min(file.lines.size(), static_cast<std::size_t>(fn.body_end));
+    for (std::size_t li = begin; li < end; ++li) {
+      const std::string& code = file.lines[li].code;
+      if (trim(code).rfind('#', 0) == 0) continue;
+      const int line_no = static_cast<int>(li) + 1;
+      auto flag = [&](const char* token, const std::string& detail) {
+        out.emit("hotpath-purity", line_no,
+                 "'" + std::string(token) + "' " + detail + " in '" +
+                     fn.qualified + "', reachable from hot entry '" +
+                     reach.entry[fi] + "': " + chain_str +
+                     " — hot paths must stay allocation-, lock- and "
+                     "exception-free; annotate '// drs-lint: "
+                     "hotpath-purity-ok(<why cold or amortized>)' if this "
+                     "site cannot run per event",
+                 chain);
+      };
+      for (const PurityToken& token : kAllocTokens) {
+        // A function whose own name is an allocation spelling (FlatMap's
+        // `insert`) is not an allocation site on its declaration line.
+        if (line_no == fn.line && token.text == fn.last) continue;
+        std::size_t pos = find_token(code, token.text);
+        while (pos != std::string::npos) {
+          // `= delete`-style declarations and `operator new` overloads do
+          // not allocate; `new` inside a word was already excluded.
+          if (std::string(token.text) == "new" &&
+              prev_nonspace(code, pos) == '=') {
+            pos = find_token(code, token.text, pos + 1);
+            continue;
+          }
+          flag(token.text, token.why);
+          pos = find_token(code, token.text, pos + 1);
+        }
       }
-      pos = find_token(code, "string", pos + 1);
+      for (const PurityToken& token : kLockTokens) {
+        if (find_token(code, token.text) != std::string::npos) {
+          flag(token.text, token.why);
+        }
+      }
+      if (find_token(code, "throw") != std::string::npos) {
+        flag("throw", "raises an exception");
+      }
+    }
+  }
+}
+
+/// determinism-v2: an `unordered-ok` annotation promises the container's
+/// iteration order never leaks into output. Cross-TU, that promise breaks
+/// the moment some function iterates the container and can reach a
+/// trace/metric/JSON emission sink — flag exactly that combination.
+void check_unordered_flow(const std::vector<SourceFile>& files,
+                          const SymbolIndex& index, const SinkReach& sinks,
+                          std::vector<Finding>& findings) {
+  // The annotated-container inventory: names declared under an unordered-ok
+  // suppression anywhere in the enforced trees.
+  std::set<std::string> annotated;
+  for (const SourceFile& file : files) {
+    if (!file.enforced) continue;
+    for (const Suppression& s : file.suppressions) {
+      if (s.rule != "unordered") continue;
+      const std::size_t li = static_cast<std::size_t>(s.target_line) - 1;
+      if (li >= file.lines.size()) continue;
+      const std::string& code = file.lines[li].code;
+      if (code.find("unordered_map<") == std::string::npos &&
+          code.find("unordered_set<") == std::string::npos) {
+        continue;
+      }
+      // The declared name: the last identifier before the initializer or
+      // terminator (declarations in this codebase fit on the line).
+      std::string decl = code;
+      for (char stop : {';', '=', '{'}) {
+        const std::size_t pos = decl.find_last_of(stop);
+        if (pos != std::string::npos) decl = decl.substr(0, pos);
+      }
+      std::size_t e = decl.size();
+      while (e > 0 && !is_word_char(decl[e - 1])) --e;
+      std::size_t b = e;
+      while (b > 0 && is_word_char(decl[b - 1])) --b;
+      if (b < e) annotated.insert(decl.substr(b, e - b));
+    }
+  }
+  if (annotated.empty()) return;
+
+  for (std::size_t fi = 0; fi < index.functions.size(); ++fi) {
+    if (!sinks.reaches[fi]) continue;
+    const FunctionDef& fn = index.functions[fi];
+    const SourceFile& file = files[fn.file_index];
+    Emitter out{findings, file};
+    std::vector<std::string> chain;
+    for (std::size_t v = fi; v != kNoFunction; v = sinks.next[v]) {
+      chain.push_back(index.functions[v].qualified);
+    }
+    std::string chain_str;
+    for (const auto& link : chain) {
+      chain_str += (chain_str.empty() ? "" : " -> ") + link;
+    }
+    const std::size_t begin = static_cast<std::size_t>(fn.body_begin) - 1;
+    const std::size_t end =
+        std::min(file.lines.size(), static_cast<std::size_t>(fn.body_end));
+    for (std::size_t li = begin; li < end; ++li) {
+      const std::string& code = file.lines[li].code;
+      if (trim(code).rfind('#', 0) == 0) continue;
+      for (const std::string& name : annotated) {
+        const std::size_t name_pos = find_token(code, name);
+        if (name_pos == std::string::npos) continue;
+        // Range-for over the container, or explicit iterator walks.
+        const std::size_t for_pos = find_token(code, "for");
+        const bool range_for = for_pos != std::string::npos &&
+                               for_pos < name_pos &&
+                               code.find(':', for_pos) < name_pos;
+        const bool begin_call =
+            code.compare(name_pos + name.size(), 7, ".begin(") == 0 ||
+            code.compare(name_pos + name.size(), 8, ".cbegin(") == 0;
+        if (!range_for && !begin_call) continue;
+        out.emit("unordered-flow", static_cast<int>(li) + 1,
+                 "iteration over annotated unordered container '" + name +
+                     "' in '" + fn.qualified +
+                     "' can reach emission sink '" + sinks.sink[fi] +
+                     "': " + chain_str +
+                     " — hash order would leak into output; iterate a "
+                     "sorted view or annotate '// drs-lint: "
+                     "unordered-flow-ok(<why order cannot reach the "
+                     "sink>)'",
+                 chain);
+      }
     }
   }
 }
@@ -441,7 +623,6 @@ std::vector<Finding> run_rules(const Config& config,
     check_using_namespace(file, out);
     check_float(file, out);
     check_raw_new(file, out);
-    check_hotpath_alloc(config, file, out);
     check_nodiscard(config, file, out);
     for (const auto& [line, message] : file.bad_suppressions) {
       out.emit("bad-suppression", line, message);
@@ -450,6 +631,19 @@ std::vector<Finding> run_rules(const Config& config,
   check_layers(config, files, findings);
   check_cycles(files, findings);
   check_dead_headers(files, findings);
+
+  // Pass 2: the cross-TU families on the symbol index + call graph.
+  const SymbolIndex index = build_symbol_index(files);
+  const CallGraph graph = build_call_graph(config, files, index);
+  check_shared_state(config, files, index, findings);
+  if (!config.hot_entries.empty()) {
+    const HotReach reach = reach_from_entries(graph, index, config.hot_entries);
+    check_hotpath_purity(files, index, graph, reach, findings);
+  }
+  if (!config.sinks.empty()) {
+    const SinkReach sinks = reach_to_sinks(graph, index, config.sinks);
+    check_unordered_flow(files, index, sinks, findings);
+  }
   std::sort(findings.begin(), findings.end(),
             [](const Finding& a, const Finding& b) {
               if (a.file != b.file) return a.file < b.file;

@@ -143,16 +143,25 @@ void extract_suppressions(SourceFile& file) {
     if (marker == std::string::npos) continue;
     const int line_no = static_cast<int>(li) + 1;
     std::string rest = trim(comment.substr(marker + 9));
-    // <rule>-ok(<reason>)
-    std::size_t ok = rest.find("-ok(");
+    // <rule>-ok(<reason>). The token before '(' must end in exactly "-ok":
+    // near-misses like 'shared-state-okay(...)' are rejected *by name* so a
+    // typo'd suppression can never silently cover nothing.
+    std::size_t open = rest.find('(');
     std::size_t close = rest.rfind(')');
-    if (ok == std::string::npos || close == std::string::npos || close < ok) {
+    if (open == std::string::npos || close == std::string::npos || close < open) {
       file.bad_suppressions.emplace_back(
           line_no, "malformed suppression; expected 'drs-lint: <rule>-ok(<reason>)'");
       continue;
     }
-    const std::string rule = trim(rest.substr(0, ok));
-    const std::string reason = trim(rest.substr(ok + 4, close - ok - 4));
+    const std::string token = trim(rest.substr(0, open));
+    const std::string reason = trim(rest.substr(open + 1, close - open - 1));
+    if (token.size() < 4 || token.compare(token.size() - 3, 3, "-ok") != 0) {
+      file.bad_suppressions.emplace_back(
+          line_no, "malformed suppression '" + token +
+                       "'; expected 'drs-lint: <rule>-ok(<reason>)'");
+      continue;
+    }
+    const std::string rule = token.substr(0, token.size() - 3);
     if (!is_known_rule(rule)) {
       file.bad_suppressions.emplace_back(line_no,
                                          "unknown rule '" + rule + "' in suppression");
@@ -303,18 +312,21 @@ bool parse_config(const std::string& path, Config& config, std::string& error) {
       config.file_modules.emplace_back(prefix, module);
     } else if (directive == "allow") {
       std::string rule, prefix;
-      if (!(ss >> rule >> prefix) || rule != "banned") {
-        return fail("expected 'allow banned <path-prefix>'");
+      if (!(ss >> rule >> prefix) ||
+          (rule != "banned" && rule != "shared-state")) {
+        return fail("expected 'allow banned|shared-state <path-prefix>'");
       }
-      config.banned_allow.push_back(prefix);
+      (rule == "banned" ? config.banned_allow : config.shared_state_allow)
+          .push_back(prefix);
     } else if (directive == "nodiscard-module") {
       std::string name;
       if (!(ss >> name)) return fail("nodiscard-module needs a module name");
       config.nodiscard_modules.insert(name);
-    } else if (directive == "hotpath-module") {
-      std::string name;
-      if (!(ss >> name)) return fail("hotpath-module needs a module name");
-      config.hotpath_modules.insert(name);
+    } else if (directive == "hotpaths") {
+      std::string file;
+      if (!(ss >> file)) return fail("hotpaths needs a file path");
+      const std::string dir = dirname_of(path);
+      config.hotpaths_path = dir.empty() ? file : dir + "/" + file;
     } else {
       return fail("unknown directive '" + directive + "'");
     }
@@ -343,6 +355,38 @@ bool parse_config(const std::string& path, Config& config, std::string& error) {
   if (!module_dag_is_acyclic(config, cycle_at)) {
     error = path + ": module DAG has a cycle (" + cycle_at + ")";
     return false;
+  }
+  if (!config.hotpaths_path.empty()) {
+    std::ifstream hp(config.hotpaths_path);
+    if (!hp) {
+      error = "cannot open hotpaths file: " + config.hotpaths_path;
+      return false;
+    }
+    int hp_line = 0;
+    while (std::getline(hp, line)) {
+      ++hp_line;
+      std::size_t hash = line.find('#');
+      if (hash != std::string::npos) line = line.substr(0, hash);
+      line = trim(line);
+      if (line.empty()) continue;
+      std::stringstream ss(line);
+      std::string directive, name, extra;
+      ss >> directive >> name;
+      if (name.empty() || (ss >> extra)) {
+        error = config.hotpaths_path + ":" + std::to_string(hp_line) +
+                ": expected 'hot <function>' or 'sink <function>'";
+        return false;
+      }
+      if (directive == "hot") {
+        config.hot_entries.push_back(name);
+      } else if (directive == "sink") {
+        config.sinks.push_back(name);
+      } else {
+        error = config.hotpaths_path + ":" + std::to_string(hp_line) +
+                ": unknown directive '" + directive + "'";
+        return false;
+      }
+    }
   }
   return true;
 }

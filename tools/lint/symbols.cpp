@@ -1,0 +1,520 @@
+// Symbol-index construction: a brace/paren state machine over the stripped
+// source lines. See symbols.hpp for what is (and is not) recorded.
+#include "symbols.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+
+namespace drslint {
+namespace {
+
+bool is_word_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  std::size_t e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+/// Whole-word token search (same contract as the rules' find_token).
+std::size_t find_token(const std::string& code, const std::string& token,
+                       std::size_t from = 0) {
+  std::size_t pos = code.find(token, from);
+  while (pos != std::string::npos) {
+    const bool left_ok = pos == 0 || !is_word_char(code[pos - 1]);
+    const std::size_t end = pos + token.size();
+    const bool right_ok = end >= code.size() || !is_word_char(code[end]);
+    if (left_ok && right_ok) return pos;
+    pos = code.find(token, pos + 1);
+  }
+  return std::string::npos;
+}
+
+bool has_token(const std::string& code, const std::string& token) {
+  return find_token(code, token) != std::string::npos;
+}
+
+/// Words that look like `name(...)` but are never function names or callees.
+const std::set<std::string>& control_words() {
+  static const std::set<std::string> kWords = {
+      "if",       "for",     "while",    "switch",        "return",
+      "sizeof",   "catch",   "assert",   "alignof",       "alignas",
+      "decltype", "noexcept", "static_assert", "defined", "new",
+      "delete",   "throw",   "case",     "do",            "else",
+      "goto",     "not",     "and",      "or",            "typeid",
+  };
+  return kWords;
+}
+
+/// Position of the first '(' outside any nested parens, or npos. Parens
+/// inside template argument lists count too — a deliberate simplification
+/// (documented): `std::function<void(int)> g;` reads as a declaration with
+/// parens and is skipped by the state audit.
+std::size_t first_top_paren(const std::string& s) {
+  int depth = 0;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '(') {
+      if (depth == 0) return i;
+      ++depth;
+    } else if (s[i] == ')') {
+      if (depth > 0) --depth;
+    }
+  }
+  return std::string::npos;
+}
+
+std::size_t first_top_char(const std::string& s, char want) {
+  int depth = 0;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '(' || s[i] == '[') ++depth;
+    else if (s[i] == ')' || s[i] == ']') --depth;
+    else if (s[i] == want && depth <= 0) return i;
+  }
+  return std::string::npos;
+}
+
+/// The identifier (with any :: / ~ qualification) ending just before `pos`.
+std::string name_ending_at(const std::string& s, std::size_t pos) {
+  std::size_t e = pos;
+  while (e > 0 && (s[e - 1] == ' ' || s[e - 1] == '\t')) --e;
+  std::size_t b = e;
+  while (b > 0 && (is_word_char(s[b - 1]) || s[b - 1] == ':' || s[b - 1] == '~')) --b;
+  while (b < e && s[b] == ':') ++b;  // a stray leading "::"
+  return s.substr(b, e - b);
+}
+
+std::string last_identifier(const std::string& s) {
+  std::size_t e = s.size();
+  while (e > 0) {
+    while (e > 0 && !is_word_char(s[e - 1])) --e;
+    std::size_t b = e;
+    while (b > 0 && is_word_char(s[b - 1])) --b;
+    if (b == e) return "";
+    const std::string word = s.substr(b, e - b);
+    if (std::isdigit(static_cast<unsigned char>(word[0])) == 0) return word;
+    e = b;  // a numeric literal (array bound, initializer); keep looking left
+  }
+  return "";
+}
+
+struct Scope {
+  enum Kind { kNamespace, kClass, kFunction, kBlock, kInit };
+  Kind kind = kBlock;
+  std::string name;                    // namespace/class path component
+  std::size_t func = kNoScopeFunc;     // FunctionDef index when kFunction
+  int saved_paren = 0;                 // statement paren depth to restore
+  bool mid_stmt = false;  // pushed mid-declaration; popping resumes the stmt
+  static constexpr std::size_t kNoScopeFunc = static_cast<std::size_t>(-1);
+};
+
+class FileScanner {
+ public:
+  FileScanner(std::size_t file_index, const SourceFile& file, SymbolIndex& out)
+      : file_index_(file_index), file_(file), out_(out) {}
+
+  void run() {
+    bool continuation = false;  // inside a multi-line #define
+    for (std::size_t li = 0; li < file_.lines.size(); ++li) {
+      const std::string& code = file_.lines[li].code;
+      const std::string& raw = file_.lines[li].raw;
+      const bool directive = continuation || trim(code).rfind('#', 0) == 0;
+      continuation = directive && !raw.empty() && raw.back() == '\\';
+      if (directive) continue;
+      line_ = static_cast<int>(li) + 1;
+      for (char c : code) step(c);
+    }
+    // Close any function left open by unbalanced input (tolerant scanning).
+    while (!scopes_.empty()) pop_scope();
+  }
+
+ private:
+  void append(char c) {
+    if (trim(stmt_).empty() && c != ' ' && c != '\t') stmt_line_ = line_;
+    stmt_ += c;
+  }
+
+  void reset_stmt() {
+    stmt_.clear();
+    stmt_line_ = 0;
+  }
+
+  bool in_function() const {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      if (it->kind == Scope::kFunction) return true;
+    }
+    return false;
+  }
+
+  /// The namespace/class qualification of the current scope stack.
+  std::string scope_path() const {
+    std::string path;
+    for (const Scope& s : scopes_) {
+      if (s.kind != Scope::kNamespace && s.kind != Scope::kClass) continue;
+      if (s.name.empty()) continue;  // anonymous namespace
+      if (!path.empty()) path += "::";
+      path += s.name;
+    }
+    return path;
+  }
+
+  std::string qualify(const std::string& name) const {
+    const std::string path = scope_path();
+    return path.empty() ? name : path + "::" + name;
+  }
+
+  void push_scope(Scope::Kind kind, std::string name = "",
+                  std::size_t func = Scope::kNoScopeFunc) {
+    Scope s;
+    s.kind = kind;
+    s.name = std::move(name);
+    s.func = func;
+    s.saved_paren = paren_;
+    scopes_.push_back(std::move(s));
+    paren_ = 0;
+  }
+
+  /// Returns true when the popped scope interrupted a declaration that
+  /// should keep accumulating (a member-init-list brace initializer).
+  bool pop_scope() {
+    if (scopes_.empty()) return false;
+    const Scope s = scopes_.back();
+    scopes_.pop_back();
+    paren_ = s.saved_paren;
+    if (s.kind == Scope::kFunction && s.func != Scope::kNoScopeFunc) {
+      out_.functions[s.func].body_end = line_;
+    }
+    return s.mid_stmt;
+  }
+
+  /// Strips leading access labels (`public:` etc.) accumulated into a
+  /// class-scope statement buffer.
+  static std::string strip_labels(std::string s) {
+    for (;;) {
+      s = trim(s);
+      bool stripped = false;
+      for (const char* label : {"public", "private", "protected"}) {
+        const std::string l = label;
+        if (s.compare(0, l.size(), l) != 0) continue;
+        std::size_t i = l.size();
+        while (i < s.size() && (s[i] == ' ' || s[i] == '\t')) ++i;
+        if (i < s.size() && s[i] == ':' && (i + 1 >= s.size() || s[i + 1] != ':')) {
+          s = s.substr(i + 1);
+          stripped = true;
+          break;
+        }
+      }
+      if (!stripped) return s;
+    }
+  }
+
+  /// Records `stmt` as a shared-state candidate if it declares one.
+  /// `terminated` is false when called at a brace (the declaration continues
+  /// as a brace initializer, e.g. `std::atomic<int> g{0}`).
+  void maybe_record_state(const std::string& raw_stmt) {
+    // Find the innermost scope that decides the context; Init contents are
+    // never declarations of interest.
+    Scope::Kind context = Scope::kNamespace;
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      if (it->kind == Scope::kInit) return;
+      context = it->kind;
+      break;
+    }
+    if (scopes_.empty()) context = Scope::kNamespace;
+    const std::string stmt = strip_labels(raw_stmt);
+    if (stmt.empty()) return;
+
+    static const std::set<std::string> kSkipLead = {
+        "using",  "typedef", "friend",   "template", "static_assert",
+        "namespace", "class", "struct",  "union",    "enum",
+        "extern", "goto",    "return",   "if",       "for",
+        "while",  "switch",  "case",     "do",       "else",
+        "throw",  "delete",  "operator", "asm",      "default",
+        "break",  "continue", "__extension__",
+    };
+    std::size_t lead_end = 0;
+    while (lead_end < stmt.size() && is_word_char(stmt[lead_end])) ++lead_end;
+    const std::string lead = stmt.substr(0, lead_end);
+    if (lead.empty() || kSkipLead.count(lead) != 0) return;
+
+    const std::size_t eq = first_top_char(stmt, '=');
+    const std::string decl = eq == std::string::npos ? stmt : stmt.substr(0, eq);
+    const bool is_thread_local = has_token(decl, "thread_local");
+    const bool is_static = has_token(decl, "static");
+    const bool is_const = has_token(decl, "const") ||
+                          has_token(decl, "constexpr") ||
+                          has_token(decl, "constinit");
+
+    StateKind kind;
+    if (is_thread_local) {
+      if (has_token(decl, "constexpr")) return;
+      kind = StateKind::kThreadLocal;
+    } else if (is_const) {
+      return;  // immutable (or sealed-at-initialization) state is shardable
+    } else if (context == Scope::kFunction || context == Scope::kBlock) {
+      if (!is_static) return;  // plain locals are not shared state
+      kind = StateKind::kStaticLocal;
+    } else if (context == Scope::kClass) {
+      if (!is_static) return;  // instance members travel with their object
+      kind = StateKind::kStaticMember;
+    } else {
+      kind = StateKind::kGlobal;
+    }
+    // A '(' in the declarator means a function declaration (or a
+    // pointer-to-function / template-argument shape we conservatively skip).
+    if (first_top_paren(decl) != std::string::npos) return;
+
+    const std::string name = last_identifier(decl);
+    if (name.empty() || control_words().count(name) != 0) return;
+    // `Type Class::member_{...};` — an out-of-line definition of a static
+    // data member already recorded at its class-scope declaration.
+    const std::size_t name_pos = decl.rfind(name);
+    if (name_pos >= 2 && decl.compare(name_pos - 2, 2, "::") == 0) return;
+    StateVar var;
+    var.name = qualify(name);
+    var.kind = kind;
+    var.file_index = file_index_;
+    var.line = stmt_line_ == 0 ? line_ : stmt_line_;
+    out_.state.push_back(std::move(var));
+  }
+
+  /// True when a '{' after a top-level '(' opens a function body rather
+  /// than a brace initializer inside a member-init list (`: v_{1, 2}`).
+  static bool brace_opens_body(const std::string& stmt) {
+    const std::string t = trim(stmt);
+    if (t.empty()) return false;
+    const char last = t.back();
+    if (last == ')' || last == ':' || last == '&') return true;
+    if (last == '>') {  // `-> Result {` trailing return type
+      return t.find("->") != std::string::npos;
+    }
+    if (is_word_char(last)) {
+      const std::string word = last_identifier(t);
+      static const std::set<std::string> kBodyWords = {
+          "const", "noexcept", "override", "final", "mutable", "try", "volatile",
+      };
+      return kBodyWords.count(word) != 0;
+    }
+    return false;
+  }
+
+  void classify_brace() {
+    const std::string stmt = strip_labels(stmt_);
+    // Inside a function every brace is a block — except a static local's
+    // brace initializer, which is the declaration's continuation.
+    if (in_function()) {
+      if ((stmt.rfind("static", 0) == 0 || stmt.rfind("thread_local", 0) == 0) &&
+          first_top_paren(stmt) == std::string::npos) {
+        maybe_record_state(stmt);
+        push_scope(Scope::kInit);
+      } else {
+        push_scope(Scope::kBlock);
+      }
+      reset_stmt();
+      return;
+    }
+
+    if (has_token(stmt, "namespace")) {
+      std::string name;
+      std::size_t e = stmt.size();
+      while (e > 0 && !is_word_char(stmt[e - 1]) && stmt[e - 1] != ':') --e;
+      std::size_t b = e;
+      while (b > 0 && (is_word_char(stmt[b - 1]) || stmt[b - 1] == ':')) --b;
+      name = stmt.substr(b, e - b);
+      if (name == "namespace") name = "";  // anonymous
+      push_scope(Scope::kNamespace, name);
+      reset_stmt();
+      return;
+    }
+
+    const std::size_t paren = first_top_paren(stmt);
+    const bool class_like = has_token(stmt, "class") || has_token(stmt, "struct") ||
+                            has_token(stmt, "union") || has_token(stmt, "enum");
+    if (class_like && paren == std::string::npos) {
+      // Name: the identifier after the last class-like keyword, before any
+      // base-clause ':' or '<'.
+      std::size_t kw = 0;
+      for (const char* k : {"class", "struct", "union", "enum"}) {
+        const std::size_t pos = find_token(stmt, k);
+        if (pos != std::string::npos) kw = std::max(kw, pos);
+      }
+      std::string rest = stmt.substr(kw);
+      const std::size_t colon = rest.find(':');
+      if (colon != std::string::npos) rest = rest.substr(0, colon);
+      const std::size_t angle = rest.find('<');
+      if (angle != std::string::npos) rest = rest.substr(0, angle);
+      std::string name = last_identifier(rest);
+      static const std::set<std::string> kClassKw = {"class", "struct", "union",
+                                                     "enum", "final", "alignas"};
+      if (kClassKw.count(name) != 0) name = "";
+      push_scope(Scope::kClass, name);
+      reset_stmt();
+      return;
+    }
+
+    const std::size_t eq = first_top_char(stmt, '=');
+    const bool has_operator = has_token(stmt, "operator");
+    if (eq != std::string::npos && !has_operator &&
+        (paren == std::string::npos || eq < paren)) {
+      // `Type name = {` — a brace initializer at namespace/class scope.
+      maybe_record_state(stmt);
+      push_scope(Scope::kInit);
+      reset_stmt();
+      return;
+    }
+
+    if (paren != std::string::npos) {
+      if (!brace_opens_body(stmt)) {
+        // `Ctor() : member_{...}` — an initializer brace mid-statement; keep
+        // accumulating the same declaration.
+        push_scope(Scope::kInit);
+        scopes_.back().mid_stmt = true;
+        return;  // deliberately NOT resetting stmt_
+      }
+      std::string name = name_ending_at(stmt, paren);
+      if (has_operator || name.empty() || control_words().count(name) != 0) {
+        // operator overloads get indexed under an uncallable name; macro-ish
+        // shapes become opaque blocks.
+        name = has_operator ? "(operator)" : "";
+      }
+      if (name.empty()) {
+        push_scope(Scope::kBlock);
+        reset_stmt();
+        return;
+      }
+      FunctionDef fn;
+      fn.qualified = qualify(name);
+      const std::size_t last_sep = fn.qualified.rfind("::");
+      fn.last = last_sep == std::string::npos ? fn.qualified
+                                              : fn.qualified.substr(last_sep + 2);
+      fn.file_index = file_index_;
+      fn.line = stmt_line_ == 0 ? line_ : stmt_line_;
+      fn.body_begin = fn.line;
+      fn.body_end = line_;
+      out_.functions.push_back(std::move(fn));
+      push_scope(Scope::kFunction, "", out_.functions.size() - 1);
+      reset_stmt();
+      return;
+    }
+
+    // `std::atomic<int> g{0}` — brace init without '='; or a linkage block.
+    maybe_record_state(stmt);
+    push_scope(Scope::kInit);
+    reset_stmt();
+  }
+
+  void step(char c) {
+    switch (c) {
+      case '(':
+        ++paren_;
+        append(c);
+        break;
+      case ')':
+        if (paren_ > 0) --paren_;
+        append(c);
+        break;
+      case ';':
+        if (paren_ == 0) {
+          const std::string stmt = trim(stmt_);
+          if (!stmt.empty()) maybe_record_state(stmt);
+          reset_stmt();
+        } else {
+          append(c);  // for(;;) — part of the statement
+        }
+        break;
+      case '{':
+        if (paren_ > 0) {
+          // A lambda body inside an argument list: an opaque block whose
+          // statements still get scanned (thread_locals in worker lambdas).
+          push_scope(Scope::kBlock);
+          reset_stmt();
+        } else {
+          classify_brace();
+        }
+        break;
+      case '}':
+        if (!pop_scope()) reset_stmt();
+        break;
+      default:
+        append(c);
+        break;
+    }
+  }
+
+  std::size_t file_index_;
+  const SourceFile& file_;
+  SymbolIndex& out_;
+  std::vector<Scope> scopes_;
+  std::string stmt_;
+  int stmt_line_ = 0;
+  int line_ = 0;
+  int paren_ = 0;
+};
+
+/// Callee identifiers: every word followed by '(' that is not a control
+/// keyword. Explicit-template-argument calls (`make_unique<T>(...)`) are
+/// missed by design — the purity rule's token scan covers the allocation
+/// spellings independently of the graph. Lines carrying a `hotpath-purity-ok`
+/// annotation contribute no edges: annotating a cold call site (a debug-only
+/// format, a trace dump) prunes everything reachable only through it.
+void extract_calls(const SourceFile& file, FunctionDef& fn) {
+  std::set<int> cold_lines;
+  for (const Suppression& s : file.suppressions) {
+    if (s.rule == "hotpath-purity") cold_lines.insert(s.target_line);
+  }
+  std::set<std::string> seen;
+  const std::size_t begin = static_cast<std::size_t>(fn.body_begin) - 1;
+  const std::size_t end = std::min(file.lines.size(),
+                                   static_cast<std::size_t>(fn.body_end));
+  for (std::size_t li = begin; li < end; ++li) {
+    const std::string& code = file.lines[li].code;
+    if (trim(code).rfind('#', 0) == 0) continue;
+    if (cold_lines.count(static_cast<int>(li) + 1) != 0) continue;
+    std::size_t i = 0;
+    while (i < code.size()) {
+      if (!is_word_char(code[i])) {
+        ++i;
+        continue;
+      }
+      std::size_t b = i;
+      while (i < code.size() && is_word_char(code[i])) ++i;
+      if (std::isdigit(static_cast<unsigned char>(code[b])) != 0) continue;
+      std::size_t j = i;
+      while (j < code.size() && (code[j] == ' ' || code[j] == '\t')) ++j;
+      if (j < code.size() && code[j] == '(') {
+        const std::string word = code.substr(b, i - b);
+        if (control_words().count(word) == 0) seen.insert(word);
+      }
+    }
+  }
+  fn.calls.assign(seen.begin(), seen.end());
+}
+
+}  // namespace
+
+bool name_matches(const std::string& qualified, const std::string& spec) {
+  if (qualified == spec) return true;
+  if (qualified.size() <= spec.size() + 2) return false;
+  const std::size_t at = qualified.size() - spec.size();
+  return qualified.compare(at, spec.size(), spec) == 0 &&
+         qualified.compare(at - 2, 2, "::") == 0;
+}
+
+SymbolIndex build_symbol_index(const std::vector<SourceFile>& files) {
+  SymbolIndex index;
+  for (std::size_t fi = 0; fi < files.size(); ++fi) {
+    if (!files[fi].enforced) continue;
+    FileScanner(fi, files[fi], index).run();
+  }
+  for (std::size_t i = 0; i < index.functions.size(); ++i) {
+    FunctionDef& fn = index.functions[i];
+    extract_calls(files[fn.file_index], fn);
+    index.functions_by_last[fn.last].push_back(i);
+  }
+  return index;
+}
+
+}  // namespace drslint

@@ -1,0 +1,70 @@
+// Pass 1 of the cross-TU analysis: a lightweight symbol index over the
+// enforced trees. Same lexer-lite philosophy as the scanner — no libclang,
+// no preprocessor, a brace/paren state machine over comment-stripped lines.
+//
+// The index records two symbol families:
+//   functions — every function/method *definition* (declarations are
+//               skipped), with its qualified name, body line range, and the
+//               deduplicated set of identifiers it calls (the raw material
+//               for the name-based call graph in callgraph.hpp);
+//   state     — every shared-mutable-state candidate: non-const
+//               namespace-scope globals, function-local statics, static
+//               data members, and thread_locals (the shared-state audit's
+//               inventory; const/constexpr declarations are exempt).
+//
+// Known limitations (deliberate, documented in docs/STATIC-ANALYSIS.md):
+// calls through function pointers, virtual dispatch and type-erased
+// callables are invisible (the call graph compensates by matching callee
+// *names* across all translation units), calls with explicit template
+// arguments (`f<T>(x)`) are missed, and `const char* g;` counts as const.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace drslint {
+
+enum class StateKind {
+  kGlobal,        // non-const namespace-scope variable
+  kStaticLocal,   // non-const function-local static
+  kStaticMember,  // non-const static data member
+  kThreadLocal,   // thread_local at any scope
+};
+
+struct StateVar {
+  std::string name;  // qualified with the enclosing namespace/class path
+  StateKind kind = StateKind::kGlobal;
+  std::size_t file_index = 0;  // into the files vector handed to the builder
+  int line = 0;                // first code line of the declaration (1-based)
+};
+
+struct FunctionDef {
+  std::string qualified;  // e.g. "drs::net::Nic::deliver"
+  std::string last;       // the final :: component, e.g. "deliver"
+  std::size_t file_index = 0;
+  int line = 0;        // line carrying the opening brace (1-based)
+  int body_begin = 0;  // first body line, inclusive (== line)
+  int body_end = 0;    // last body line, inclusive
+  std::vector<std::string> calls;  // deduplicated callee identifiers
+};
+
+struct SymbolIndex {
+  std::vector<FunctionDef> functions;
+  std::vector<StateVar> state;
+  // Callee-name resolution: last name component -> function indices.
+  std::map<std::string, std::vector<std::size_t>> functions_by_last;
+};
+
+/// Does `qualified` name match `spec`? A spec is a ::-suffix: "Nic::deliver"
+/// matches "drs::net::Nic::deliver" but not "drs::MagNic::deliver".
+bool name_matches(const std::string& qualified, const std::string& spec);
+
+/// Builds the index over every enforced file (refs trees contribute nothing:
+/// rules never fire there and their symbols must not absorb call edges).
+SymbolIndex build_symbol_index(const std::vector<SourceFile>& files);
+
+}  // namespace drslint
