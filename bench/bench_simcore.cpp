@@ -9,7 +9,11 @@
 //               N=1024 (at a reduced span) stresses the batched sweep far
 //               past the deployed scale
 //   fleet       the paper's whole deployment — 27 clusters of 8 plus the
-//               inter-cluster relay mesh — on one simulator
+//               inter-cluster relay mesh — on one simulator, then the same
+//               shape on the sharded engine at 1/2/4/8 shards (plus a dense
+//               8x64 variant): sim_events must agree exactly across all of
+//               them — the byte-identity contract surfacing as a bench
+//               invariant — while events/s charts the window overhead
 //   chaos batch a sequential slice of the chaos-campaign family, i.e. the
 //               workload the survivability results are produced by
 //
@@ -29,6 +33,7 @@
 #include "chaos/campaign.hpp"
 #include "chaos/runner.hpp"
 #include "cluster/fleet.hpp"
+#include "cluster/partition.hpp"
 #include "core/system.hpp"
 #include "net/network.hpp"
 #include "sim/simulator.hpp"
@@ -178,6 +183,42 @@ FleetNumbers run_fleet(std::uint16_t clusters, std::uint16_t nodes,
   return numbers;
 }
 
+// --- tier 3b: sharded fleet ---------------------------------------------------
+
+struct ShardedFleetNumbers {
+  std::uint32_t shards = 0;
+  std::uint64_t sim_events = 0;
+  std::uint64_t windows = 0;
+  double wall_seconds = 0.0;
+  double events_per_sec = 0.0;
+};
+
+ShardedFleetNumbers run_fleet_sharded(std::uint16_t clusters,
+                                      std::uint16_t nodes,
+                                      util::Duration span,
+                                      std::uint32_t shards) {
+  cluster::ShardedFleetConfig config;
+  config.fleet.clusters = clusters;
+  config.fleet.nodes_per_cluster = nodes;
+  config.shards = shards;
+  cluster::ShardedFleet fleet(config);
+  fleet.start();
+  const double t0 = now_seconds();
+  fleet.run_until(util::SimTime::zero() + span);
+  const double t1 = now_seconds();
+
+  ShardedFleetNumbers numbers;
+  numbers.shards = shards;
+  numbers.sim_events = fleet.engine().events_executed();
+  numbers.windows = fleet.engine().windows_run();
+  numbers.wall_seconds = t1 - t0;
+  numbers.events_per_sec =
+      numbers.wall_seconds > 0.0
+          ? static_cast<double>(numbers.sim_events) / numbers.wall_seconds
+          : 0.0;
+  return numbers;
+}
+
 // --- tier 4: chaos-campaign batch -------------------------------------------
 
 struct ChaosNumbers {
@@ -211,10 +252,14 @@ ChaosNumbers run_chaos_batch(std::uint64_t seed, std::uint64_t campaigns) {
 
 std::string to_json(const QueueNumbers& queue,
                     const std::vector<StormNumbers>& storms,
-                    const FleetNumbers& fleet, const ChaosNumbers& chaos_batch) {
+                    const FleetNumbers& fleet,
+                    const std::vector<ShardedFleetNumbers>& sharded,
+                    const FleetNumbers& fleet_dense,
+                    const std::vector<ShardedFleetNumbers>& sharded_dense,
+                    const ChaosNumbers& chaos_batch) {
   util::JsonWriter json;
   json.begin_object();
-  json.field("schema", "bench_simcore.v2");
+  json.field("schema", "bench_simcore.v3");
   json.key("queue");
   json.begin_object()
       .field("push_pop_ns_per_event", queue.push_pop_ns)
@@ -241,6 +286,39 @@ std::string to_json(const QueueNumbers& queue,
       .field("wall_seconds", fleet.wall_seconds)
       .field("events_per_sec", fleet.events_per_sec)
       .end_object();
+  json.key("fleet_sharded");
+  json.begin_array();
+  for (const ShardedFleetNumbers& run : sharded) {
+    json.begin_object()
+        .field("shards", static_cast<std::uint64_t>(run.shards))
+        .field("sim_events", run.sim_events)
+        .field("windows", run.windows)
+        .field("wall_seconds", run.wall_seconds)
+        .field("events_per_sec", run.events_per_sec)
+        .end_object();
+  }
+  json.end_array();
+  json.key("fleet_dense");
+  json.begin_object()
+      .field("clusters", static_cast<std::uint64_t>(fleet_dense.clusters))
+      .field("nodes_per_cluster",
+             static_cast<std::uint64_t>(fleet_dense.nodes_per_cluster))
+      .field("sim_events", fleet_dense.sim_events)
+      .field("wall_seconds", fleet_dense.wall_seconds)
+      .field("events_per_sec", fleet_dense.events_per_sec)
+      .end_object();
+  json.key("fleet_sharded_dense");
+  json.begin_array();
+  for (const ShardedFleetNumbers& run : sharded_dense) {
+    json.begin_object()
+        .field("shards", static_cast<std::uint64_t>(run.shards))
+        .field("sim_events", run.sim_events)
+        .field("windows", run.windows)
+        .field("wall_seconds", run.wall_seconds)
+        .field("events_per_sec", run.events_per_sec)
+        .end_object();
+  }
+  json.end_array();
   json.key("chaos_batch");
   json.begin_object()
       .field("campaigns", chaos_batch.campaigns)
@@ -332,6 +410,54 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(fleet.sim_events), fleet.wall_seconds,
       fleet.events_per_sec);
 
+  // The sharded fleet A/B at the same deployment shape and span. sim_events
+  // is identical across shard counts (the byte-identity contract); only wall
+  // clock moves, so events/s is a clean speedup axis.
+  std::vector<ShardedFleetNumbers> sharded;
+  util::Table sharded_table({"shards", "sim events", "windows", "wall ms",
+                             "events/s"});
+  for (const std::uint32_t shards : {1u, 2u, 4u, 8u}) {
+    sharded.push_back(run_fleet_sharded(27, 8, util::Duration::seconds(2),
+                                        shards));
+    const ShardedFleetNumbers& run = sharded.back();
+    char wall[32], rate[32];
+    std::snprintf(wall, sizeof wall, "%.1f", run.wall_seconds * 1e3);
+    std::snprintf(rate, sizeof rate, "%.0f", run.events_per_sec);
+    sharded_table.add_row({std::to_string(run.shards),
+                           std::to_string(run.sim_events),
+                           std::to_string(run.windows), wall, rate});
+  }
+  util::export_table_csv("simcore_fleet_sharded", sharded_table);
+  std::printf("fleet (sharded, 27x8):\n%s\n", sharded_table.to_text().c_str());
+
+  // The dense shape: fewer, larger clusters. Probe sweeps are batched per
+  // tick, so per-window work is thousands of events instead of dozens —
+  // the regime where the worker threads outrun the barrier cost (the sparse
+  // 27x8 shape above deliberately shows the opposite regime).
+  const FleetNumbers fleet_dense = run_fleet(8, 64, util::Duration::seconds(1));
+  std::printf(
+      "fleet dense: %u clusters x %u nodes, %llu events, %.2f s wall, "
+      "%.0f events/s\n",
+      fleet_dense.clusters, fleet_dense.nodes_per_cluster,
+      static_cast<unsigned long long>(fleet_dense.sim_events),
+      fleet_dense.wall_seconds, fleet_dense.events_per_sec);
+  std::vector<ShardedFleetNumbers> sharded_dense;
+  util::Table dense_table(
+      {"shards", "sim events", "windows", "wall ms", "events/s"});
+  for (const std::uint32_t shards : {1u, 2u, 4u, 8u}) {
+    sharded_dense.push_back(
+        run_fleet_sharded(8, 64, util::Duration::seconds(1), shards));
+    const ShardedFleetNumbers& run = sharded_dense.back();
+    char wall[32], rate[32];
+    std::snprintf(wall, sizeof wall, "%.1f", run.wall_seconds * 1e3);
+    std::snprintf(rate, sizeof rate, "%.0f", run.events_per_sec);
+    dense_table.add_row({std::to_string(run.shards),
+                         std::to_string(run.sim_events),
+                         std::to_string(run.windows), wall, rate});
+  }
+  util::export_table_csv("simcore_fleet_sharded_dense", dense_table);
+  std::printf("fleet (sharded, 8x64):\n%s\n", dense_table.to_text().c_str());
+
   const ChaosNumbers chaos_batch = run_chaos_batch(seed, campaigns);
   std::printf(
       "chaos batch: %llu campaigns, %llu events, %.2f s wall, %.0f events/s\n",
@@ -339,7 +465,8 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(chaos_batch.sim_events),
       chaos_batch.wall_seconds, chaos_batch.events_per_sec);
 
-  const std::string report = to_json(queue, storms, fleet, chaos_batch);
+  const std::string report = to_json(queue, storms, fleet, sharded,
+                                     fleet_dense, sharded_dense, chaos_batch);
   std::printf("=== JSON ===\n%s\n", report.c_str());
   const std::string json_out = flags->get_string("json-out", "");
   if (!json_out.empty()) {

@@ -14,9 +14,15 @@ constexpr std::uint64_t kScheduleSalt = 0xC4A05C4A05ULL;
 
 Schedule generate_schedule(std::uint64_t seed, std::uint64_t campaign,
                            const ScheduleConfig& config) {
+  return generate_domain_schedule(
+      seed, campaign, static_cast<std::uint32_t>(2u * config.node_count + 2u),
+      config);
+}
+
+Schedule generate_domain_schedule(std::uint64_t seed, std::uint64_t campaign,
+                                  std::uint32_t component_count,
+                                  const ScheduleConfig& config) {
   util::Rng rng(seed, util::mix64(campaign, kScheduleSalt));
-  const auto component_count =
-      static_cast<std::uint32_t>(2u * config.node_count + 2u);
 
   Schedule schedule;
   schedule.actions.reserve(config.events + config.max_concurrent_failures);

@@ -54,4 +54,13 @@ struct Schedule {
 Schedule generate_schedule(std::uint64_t seed, std::uint64_t campaign,
                            const ScheduleConfig& config);
 
+/// Same generator over an explicit component space: schedules for failure
+/// domains whose component count is not the single-cluster 2N+2 formula (a
+/// Fleet's k*(2n+2)+k+1 flat space, say). generate_schedule() delegates here
+/// with component_count = 2*node_count+2, drawing the identical action
+/// stream, so existing (seed, campaign) replay coordinates stay valid.
+Schedule generate_domain_schedule(std::uint64_t seed, std::uint64_t campaign,
+                                  std::uint32_t component_count,
+                                  const ScheduleConfig& config);
+
 }  // namespace drs::chaos

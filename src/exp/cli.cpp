@@ -12,6 +12,9 @@ std::optional<BenchCli> parse_bench_cli(
   std::map<std::string, std::string> allowed = std::move(extra);
   allowed.emplace("threads", "worker threads for cell sharding, 0 = hardware");
   allowed.emplace("seed", "master seed for randomized families");
+  allowed.emplace("shards",
+                  "fixed `shards` axis: fleet families run on the sharded "
+                  "engine with this many worker shards (0 = legacy path)");
   allowed.emplace("cache-dir", "content-addressed result cache directory");
   allowed.emplace("refresh", "recompute every cell, overwrite cache entries");
   allowed.emplace("json-out", "write the canonical JSON report here");
@@ -28,6 +31,7 @@ std::optional<BenchCli> parse_bench_cli(
   if (flags->has("seed")) {
     cli.seed = static_cast<std::uint64_t>(flags->get_int("seed", 0));
   }
+  if (flags->has("shards")) cli.shards = flags->get_int("shards", 0);
   cli.json_out = flags->get_string("json-out", "");
   cli.timing = flags->get_bool("timing");
   return cli;

@@ -2,6 +2,10 @@
 //
 //   --threads N      worker threads for cell sharding (0 = hardware)
 //   --seed S         master seed for randomized families
+//   --shards N       adds a fixed `shards` axis: fleet families run on the
+//                    sharded engine with N worker shards (byte-identical
+//                    results, see docs/SHARDING.md); an explicit grid axis
+//                    of the same name wins
 //   --cache-dir DIR  content-addressed result cache (empty = disabled)
 //   --refresh        recompute every cell, overwriting cache entries
 //   --json-out FILE  write the canonical JSON report of every experiment
@@ -27,12 +31,19 @@ struct BenchCli {
   /// Explicit --seed, when given; families keep their historical defaults
   /// otherwise (that is what keeps the golden tables byte-stable).
   std::optional<std::uint64_t> seed;
+  /// Explicit --shards, when given; folded into the grid as a fixed axis so
+  /// fleet families run on the sharded engine (0 keeps the legacy path).
+  std::optional<std::int64_t> shards;
   std::string json_out;
   bool timing = false;
 
-  /// Folds --seed (when present) into the spec and returns it.
+  /// Folds --seed and --shards (when present) into the spec and returns it.
+  /// An axis the spec's grid already names wins over the flag.
   ExperimentSpec& apply(ExperimentSpec& spec) const {
     if (seed.has_value()) spec.seed = *seed;
+    if (shards.has_value() && !spec.grid.has_axis("shards")) {
+      spec.grid.ints("shards", {*shards});
+    }
     return spec;
   }
 };

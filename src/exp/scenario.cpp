@@ -6,6 +6,7 @@
 #include "analytic/enumerate.hpp"
 #include "analytic/survivability.hpp"
 #include "cluster/fleet.hpp"
+#include "cluster/partition.hpp"
 #include "core/system.hpp"
 #include "cost/cost_model.hpp"
 #include "montecarlo/convergence.hpp"
@@ -284,6 +285,39 @@ Outputs run_fleet_smoke(const ScenarioContext& ctx) {
   config.clusters = static_cast<std::uint16_t>(ctx.cell.get_int("clusters", 27));
   config.nodes_per_cluster = static_cast<std::uint16_t>(ctx.cell.get_int("n", 8));
   config.drs = ctx.config;
+  // The `shards` axis (also the CLI's --shards default) routes the same
+  // deployment through the sharded engine. Probe totals, echo counters and
+  // the pristine check are byte-contract-equal to the legacy path (the
+  // differential corpus proves it); the interactive relay-reachability probe
+  // has no windowed equivalent, so that cell reports echo-mesh health
+  // instead.
+  if (const std::int64_t shards = ctx.cell.get_int("shards", 0); shards > 0) {
+    cluster::ShardedFleetConfig sharded_config;
+    sharded_config.fleet = config;
+    sharded_config.shards = static_cast<std::uint32_t>(shards);
+    cluster::ShardedFleet fleet(sharded_config);
+    fleet.start();
+    fleet.run_until(util::SimTime::zero() +
+                    Duration::millis(ctx.cell.get_int("run_ms", 500)));
+    std::int64_t gateway_echoes = 0, gateway_timeouts = 0;
+    for (net::ClusterId c = 0; c < config.clusters; ++c) {
+      gateway_echoes +=
+          static_cast<std::int64_t>(fleet.gateway_icmp(c).probes_sent());
+      gateway_timeouts +=
+          static_cast<std::int64_t>(fleet.gateway_icmp(c).probes_timed_out());
+    }
+    const bool relay_ok =
+        config.clusters < 2 || gateway_echoes > gateway_timeouts;
+    obs::MetricRegistry metrics;
+    fleet.collect_metrics(metrics);
+    return {
+        {"probes_sent", static_cast<std::int64_t>(fleet.total_probes_sent())},
+        {"gateway_echoes", gateway_echoes},
+        {"gateway_timeouts", gateway_timeouts},
+        {"all_pristine", fleet.all_pristine()},
+        {"relay_reachable", relay_ok},
+        {"metrics", metrics.to_json()}};
+  }
   sim::Simulator sim;
   cluster::Fleet fleet(sim, config);
   fleet.start();
@@ -357,7 +391,9 @@ std::vector<Scenario> build_registry() {
        .version = "v1",
        .help = "Multi-cluster fleet smoke: k clusters of n nodes plus the "
                "gateway relay mesh; probe totals, echo counters, pristine "
-               "check, and an end-to-end relay reachability probe",
+               "check, and an end-to-end relay reachability probe; the "
+               "`shards` axis (> 0) runs the same deployment on the sharded "
+               "engine with that many worker shards",
        .required = {"clusters"},
        .uses_config = true,
        .run = run_fleet_smoke});

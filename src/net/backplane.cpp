@@ -64,6 +64,10 @@ util::Duration Backplane::serialization_time(const Frame& frame) const {
 }
 
 void Backplane::transmit(const Nic& sender, const Frame& frame) {
+  if (boundary_hook_) {
+    boundary_hook_(sender, frame);
+    return;
+  }
   if (failed_) {
     ++counters_.dropped_failed;
     return;

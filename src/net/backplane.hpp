@@ -124,6 +124,18 @@ class Backplane {
   /// the zero-allocation instrumented test, see docs/PERFORMANCE.md).
   std::size_t flight_slots() const { return flight_.size(); }
 
+  /// Shard-boundary capture (sharded fleet only, see docs/SHARDING.md): when
+  /// set, transmit() hands every offered frame to the hook INSTEAD of driving
+  /// the medium. The hook fires before the failed_ check on purpose — the
+  /// relay-hub oracle owns the shared medium's failure state, contention,
+  /// loss draws, and delivery, and replays the legacy transmit math (and its
+  /// drop accounting) centrally at each window merge. Registration-time
+  /// plumbing; never set on single-threaded topologies.
+  using BoundaryHook = std::function<void(const Nic& sender, const Frame&)>;
+  void set_boundary_hook(BoundaryHook hook) {
+    boundary_hook_ = std::move(hook);
+  }
+
  private:
   /// Pooled copy of a frame while it is in flight on the medium. Delivery
   /// callbacks capture the slot index (EventCallback's inline capture is 48
@@ -187,6 +199,7 @@ class Backplane {
   Counters counters_;
   util::Rng rng_;
   TransmitHook transmit_hook_;
+  BoundaryHook boundary_hook_;
 };
 
 }  // namespace drs::net

@@ -5,8 +5,15 @@
 #include <cassert>
 
 #include "obs/macros.hpp"
+#include "sim/sharded.hpp"
 
 namespace drs::sim {
+
+std::uint64_t EventQueue::claim_rank() {
+  const std::uint64_t rank = ++total_scheduled_;
+  if (journal_ != nullptr) journal_->on_claim(rank);
+  return rank;
+}
 
 std::uint32_t EventQueue::acquire_slot() {
   if (free_head_ != kNoSlot) {
@@ -181,6 +188,7 @@ EventId EventQueue::push_ranked(util::SimTime t, EventCallback fn,
                     .b = static_cast<std::int64_t>(high_water_next_));
     high_water_next_ *= 2;
   }
+  if (journal_ != nullptr) journal_->on_push(slot, rank);
   return make_id(slot, s.gen);
 }
 
@@ -219,6 +227,27 @@ util::SimTime EventQueue::next_time() const {
     const Ready& top = self->ready_.front();
     if ((self->slots_[top.slot].gen & 1u) != 0) {
       return util::SimTime::from_ns(top.time_ns);
+    }
+    const Ready dead = self->heap_pop(self->ready_);
+    self->release_slot(dead.slot);
+  }
+}
+
+bool EventQueue::peek(std::int64_t& t_ns, std::uint32_t& slot) const {
+  // Same const_cast contract as next_time(): tombstone reclamation does not
+  // change observable contents.
+  if (live_ == 0) return false;
+  auto* self = const_cast<EventQueue*>(this);
+  for (;;) {
+    if (self->ready_.empty()) {
+      self->collect();
+      continue;
+    }
+    const Ready& top = self->ready_.front();
+    if ((self->slots_[top.slot].gen & 1u) != 0) {
+      t_ns = top.time_ns;
+      slot = top.slot;
+      return true;
     }
     const Ready dead = self->heap_pop(self->ready_);
     self->release_slot(dead.slot);

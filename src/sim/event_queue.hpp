@@ -42,6 +42,8 @@ class Tracer;
 
 namespace drs::sim {
 
+class OrderingJournal;
+
 /// Inline-storage event callback: captures above 48 bytes fail to compile
 /// (static_assert in InlineFunction) instead of silently heap-allocating.
 /// Pool oversized state and capture an index instead.
@@ -62,7 +64,7 @@ class EventQueue {
   /// behind the batched probe sweep's byte-identical ordering: one pending
   /// event stands in for many, but each firing must occupy the queue
   /// position of the per-probe event it replaced.
-  std::uint64_t claim_rank() { return ++total_scheduled_; }
+  std::uint64_t claim_rank();
 
   /// Schedules `fn` at `t` under a rank from claim_rank() instead of a fresh
   /// sequence number. The rank must have been claimed from this queue and be
@@ -87,6 +89,12 @@ class EventQueue {
   /// Removes and returns the earliest live event. Precondition: !empty().
   Popped pop();
 
+  /// Time and slot index of the earliest live event without removing it
+  /// (same tombstone reclamation as next_time). Returns false when empty.
+  /// The slot index keys OrderingJournal::meta_for_slot in the sharded
+  /// engine's local-vs-foreign head comparison.
+  bool peek(std::int64_t& t_ns, std::uint32_t& slot) const;
+
   std::uint64_t total_scheduled() const { return total_scheduled_; }
 
   /// True iff the id is scheduled and neither executed nor cancelled.
@@ -107,6 +115,13 @@ class EventQueue {
   /// crosses a power-of-two threshold — O(log n) events per run, so tracing
   /// the queue costs nothing measurable.
   void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
+  /// Sharded-execution lineage hook (nullptr = off, the default; the legacy
+  /// single-queue paths pay one predictable branch per push/claim). The
+  /// journal observes every push's (slot, rank) pair and every bare rank
+  /// claim so the ShardedEngine can reconstruct the global (time, rank)
+  /// order across shards — see sim/sharded.hpp. Non-owning.
+  void set_journal(OrderingJournal* journal) { journal_ = journal; }
 
  private:
   static constexpr int kLevels = 6;
@@ -159,6 +174,7 @@ class EventQueue {
   std::size_t live_ = 0;
   std::uint64_t total_scheduled_ = 0;
   obs::Tracer* tracer_ = nullptr;
+  OrderingJournal* journal_ = nullptr;
   std::size_t high_water_next_ = 16;  // next power-of-two threshold to report
 };
 

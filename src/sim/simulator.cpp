@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "sim/sharded.hpp"
+
 namespace drs::sim {
 
 bool EventHandle::pending() const {
@@ -60,7 +62,16 @@ bool Simulator::step() {
   auto ev = queue_.pop();
   assert(ev.time >= now_);
   now_ = ev.time;
-  ev.fn();
+  if (journal_ != nullptr) {
+    // The slot was released by pop() but its journal meta survives until the
+    // slot's next push, which cannot happen before ev.fn() runs below.
+    journal_->begin_event(ev.time.ns(),
+                          static_cast<std::uint32_t>(ev.id & 0xFFFFFFFFu));
+    ev.fn();
+    journal_->end_event();
+  } else {
+    ev.fn();
+  }
   ++executed_;
   return true;
 }

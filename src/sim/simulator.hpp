@@ -18,6 +18,8 @@ class Tracer;
 
 namespace drs::sim {
 
+class OrderingJournal;
+
 /// Move-only cancellation token for a scheduled event. Default-constructed
 /// (or fired, or moved-from) handles are inert. Non-owning of the simulator.
 ///
@@ -76,6 +78,7 @@ class Simulator {
   /// packet-lifetime objects come from here, not the heap (see
   /// docs/PERFORMANCE.md). Single-threaded, like the simulator itself.
   util::Arena& arena() { return *arena_; }
+  const util::Arena& arena() const { return *arena_; }
 
   /// Pre-sizes the event queue for `n` concurrently pending events.
   void reserve_events(std::size_t n) { queue_.reserve(n); }
@@ -129,11 +132,47 @@ class Simulator {
     queue_.set_tracer(tracer);
   }
 
+  // -- sharded execution (see sim/sharded.hpp) ------------------------------
+  // These hooks let a ShardedEngine drive one shard's simulator as a window
+  // worker. They are inert (journal_ == nullptr, never called) in
+  // single-threaded runs; run_until — the hot path — is untouched either way.
+
+  /// Attaches the lineage journal: every push/claim records its ordering
+  /// pedigree, and step() logs each executed event. Non-owning.
+  void set_journal(OrderingJournal* journal) {
+    journal_ = journal;
+    queue_.set_journal(journal);
+  }
+  OrderingJournal* journal() const { return journal_; }
+
+  /// Earliest pending event's (time, queue slot) without popping; false when
+  /// idle. The slot keys the journal's pending-event metadata.
+  bool peek_next(std::int64_t& t_ns, std::uint32_t& slot) const {
+    return queue_.peek(t_ns, slot);
+  }
+
+  /// Runs a cross-shard event at `t` as if it had been popped from the local
+  /// queue: clock advance + executed_events() accounting. The caller (the
+  /// engine) orders these against local events and journals them.
+  template <typename Fn>
+  void execute_foreign(util::SimTime t, Fn&& fn) {
+    now_ = t;
+    fn();
+    ++executed_;
+  }
+
+  /// Advances the clock to the end of a sync window (monotonic; the engine
+  /// only moves it forward between events).
+  void advance_clock(util::SimTime t) {
+    if (t > now_) now_ = t;
+  }
+
  private:
   util::SimTime now_ = util::SimTime::zero();
   EventQueue queue_;
   std::uint64_t executed_ = 0;
   obs::Tracer* tracer_ = nullptr;
+  OrderingJournal* journal_ = nullptr;
   util::Arena owned_arena_;
   util::Arena* arena_ = &owned_arena_;
 };

@@ -9,6 +9,7 @@
 #include <string>
 
 #include "cluster/fleet.hpp"
+#include "cluster/partition.hpp"
 #include "core/builder.hpp"
 #include "core/system.hpp"
 #include "net/network.hpp"
@@ -138,6 +139,94 @@ TEST(ZeroAllocSteadyState, FleetScaleProbeFabricReusesWarmedUpStorage) {
   EXPECT_EQ(steady.flight_slots_a, warm.flight_slots_a)
       << "a backplane grew its in-flight frame pool after fleet warmup";
   fleet.stop();
+}
+
+TEST(ZeroAllocSteadyState, ShardedFleetReusesWarmedUpStoragePerShard) {
+  // The sharded fleet must hold the zero-alloc guarantee per shard: every
+  // shard's queue and arena reach their peak during warmup and stay flat
+  // while probes keep flowing, and the aggregated gauges (summed over
+  // shards) stay flat too. Windows keep running, so the journal/merge
+  // machinery is also covered by the "no growth" check — its scratch
+  // vectors retain capacity across windows.
+  cluster::ShardedFleetConfig config;
+  config.fleet.clusters = 8;
+  config.fleet.nodes_per_cluster = 4;
+  config.shards = 4;
+  cluster::ShardedFleet fleet(config);
+  fleet.start();
+
+  struct ShardSnapshot {
+    std::int64_t chunks = 0;
+    std::int64_t bytes = 0;
+    std::int64_t event_slots = 0;
+  };
+  struct FleetSnapshot {
+    AllocSnapshot total;
+    std::int64_t windows = 0;
+    ShardSnapshot shard[4];
+  };
+  const auto sharded_snapshot = [&fleet] {
+    obs::MetricRegistry registry;
+    fleet.collect_metrics(registry);
+    FleetSnapshot snap;
+    snap.total.arena_chunks = registry.gauge("arena.chunks").value();
+    snap.total.arena_bytes = registry.gauge("arena.bytes_reserved").value();
+    snap.total.arena_oversize = registry.counter("arena.oversize").value();
+    snap.total.event_slots = registry.gauge("sim.event_slots").value();
+    snap.total.flight_slots_a = registry.gauge("fleet.flight_slots").value();
+    snap.total.arena_allocations =
+        registry.counter("arena.allocations").value();
+    snap.total.arena_freelist_hits =
+        registry.counter("arena.freelist_hits").value();
+    snap.total.probes_sent =
+        static_cast<std::int64_t>(fleet.total_probes_sent());
+    snap.windows = registry.gauge("shard.windows").value();
+    for (std::uint32_t s = 0; s < 4; ++s) {
+      snap.shard[s].chunks =
+          registry.gauge(obs::MetricRegistry::scoped("shard", s, "arena_chunks"))
+              .value();
+      snap.shard[s].bytes =
+          registry
+              .gauge(obs::MetricRegistry::scoped("shard", s,
+                                                 "arena_bytes_reserved"))
+              .value();
+      snap.shard[s].event_slots =
+          registry.gauge(obs::MetricRegistry::scoped("shard", s, "event_slots"))
+              .value();
+    }
+    return snap;
+  };
+
+  fleet.run_until(util::SimTime::zero() + util::Duration::seconds(2));
+  const FleetSnapshot warm = sharded_snapshot();
+  ASSERT_GT(warm.total.probes_sent, 0);
+  ASSERT_GT(warm.total.arena_chunks, 0);
+  ASSERT_GT(warm.windows, 0);
+
+  fleet.run_until(util::SimTime::zero() + util::Duration::seconds(5));
+  const FleetSnapshot steady = sharded_snapshot();
+
+  EXPECT_GT(steady.total.probes_sent, warm.total.probes_sent)
+      << "no probe traffic ran";
+  EXPECT_GT(steady.windows, warm.windows) << "no windows ran in steady state";
+  EXPECT_EQ(steady.total.arena_chunks, warm.total.arena_chunks)
+      << "an arena grew new chunks after sharded warmup";
+  EXPECT_EQ(steady.total.arena_bytes, warm.total.arena_bytes);
+  EXPECT_EQ(steady.total.arena_oversize, warm.total.arena_oversize)
+      << "a hot-path allocation bypassed the size classes";
+  EXPECT_EQ(steady.total.event_slots, warm.total.event_slots)
+      << "an event queue grew its slot table after sharded warmup";
+  EXPECT_EQ(steady.total.flight_slots_a, warm.total.flight_slots_a)
+      << "a backplane grew its in-flight frame pool after sharded warmup";
+  for (std::uint32_t s = 0; s < 4; ++s) {
+    EXPECT_EQ(steady.shard[s].chunks, warm.shard[s].chunks) << "shard " << s;
+    EXPECT_EQ(steady.shard[s].bytes, warm.shard[s].bytes) << "shard " << s;
+    EXPECT_EQ(steady.shard[s].event_slots, warm.shard[s].event_slots)
+        << "shard " << s;
+  }
+  // Per-shard pools are exercised, not bypassed.
+  EXPECT_GT(steady.total.arena_allocations, warm.total.arena_allocations);
+  EXPECT_GT(steady.total.arena_freelist_hits, warm.total.arena_freelist_hits);
 }
 
 TEST(ZeroAllocSteadyState, ArenaResetRetainsChunksAcrossRuns) {
