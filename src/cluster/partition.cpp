@@ -1,6 +1,7 @@
 #include "cluster/partition.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 #include <limits>
 #include <stdexcept>
@@ -31,21 +32,44 @@ std::vector<std::pair<std::uint16_t, std::uint16_t>> partition_clusters(
 
 namespace {
 
-/// Frames crossing a shard boundary must not share arena-backed payload
-/// storage with the source shard (the arena free list is not thread-safe, and
-/// the source arena's lifetime is per-shard). The relay carries only the
-/// gateway echo mesh, so the copy is a single small heap allocation per
-/// crossing frame — off every shard-local hot path.
-net::Frame deep_copy_frame(const net::Frame& frame) {
-  net::Frame out = frame;
-  if (const auto* icmp =
-          net::payload_cast<proto::IcmpPayload>(frame.packet.payload)) {
-    out.packet.payload = std::make_shared<const proto::IcmpPayload>(*icmp);
-  } else {
-    assert(frame.packet.payload == nullptr &&
-           "only ICMP payloads cross the relay in the fleet topology");
+/// Coordinator-owned payload storage for frames crossing a shard boundary.
+/// A crossing frame must not share arena-backed payload storage with its
+/// source shard (the arena free list is not thread-safe and its lifetime is
+/// per-shard), so offers and dues carry the ICMP payload BY VALUE and the
+/// delivery path materializes it here: chunked so addresses are stable, and
+/// recycled (not freed) at every window flush — steady-state crossings touch
+/// the heap zero times, where the old per-delivery deep copy paid one
+/// make_shared each. Payloads are immutable after placement; workers of the
+/// delivered-to shards read them concurrently through the barrier's
+/// release/acquire edges.
+class PayloadSlab {
+ public:
+  proto::IcmpPayload* alloc() {
+    const std::size_t chunk = used_ / kChunk;
+    const std::size_t index = used_ % kChunk;
+    if (chunk == chunks_.size()) {
+      chunks_.push_back(
+          std::make_unique<std::array<proto::IcmpPayload, kChunk>>());
+    }
+    ++used_;
+    return &(*chunks_[chunk])[index];
   }
-  return out;
+
+  /// Every payload handed out before this call has been consumed (flushed
+  /// deliveries always execute inside their own window, and nothing in the
+  /// gateway mesh retains a delivered payload past the receiving event).
+  void recycle() { used_ = 0; }
+
+ private:
+  static constexpr std::size_t kChunk = 64;
+  std::vector<std::unique_ptr<std::array<proto::IcmpPayload, kChunk>>> chunks_;
+  std::size_t used_ = 0;
+};
+
+/// Non-owning aliasing handle into the slab: get() sees the payload, the
+/// control block is empty so copies are two pointer writes (no atomics).
+net::PayloadPtr slab_ptr(const proto::IcmpPayload* payload) {
+  return net::PayloadPtr(net::PayloadPtr{}, payload);
 }
 
 }  // namespace
@@ -68,15 +92,23 @@ net::Frame deep_copy_frame(const net::Frame& frame) {
 // stays queued and is counted lost when the replay reaches that transition.
 // ---------------------------------------------------------------------------
 struct ShardedFleet::RelayOracle {
-  /// One frame offered to the relay, captured at the shard boundary. `meta`
-  /// is the transmitting event's consumed child slot: its parent field
-  /// recovers the event's own key (ordering the offer among all events), and
-  /// its resolution is the delivery's key (where legacy claimed the stream
-  /// entry's rank).
+  /// One frame offered to the relay, captured at the shard boundary. In the
+  /// certified lane `meta` is the transmitting event's consumed child slot:
+  /// its parent field recovers the event's own key (ordering the offer among
+  /// all events), and its resolution is the delivery's key (where legacy
+  /// claimed the stream entry's rank). In the counter-equal lane the key is
+  /// synthesized from (cluster, capture index) instead — see on_merge. The
+  /// ICMP payload rides by value (frame.packet.payload is detached) so the
+  /// capture path never heap-allocates; `wire_bytes` is latched before the
+  /// detach for the replay's serialization math.
   struct Offer {
     std::int64_t t_ns = 0;
     sim::OrderingJournal::Meta meta;
+    std::uint16_t cluster = 0;
+    std::uint32_t wire_bytes = 0;
     net::Frame frame;
+    proto::IcmpPayload payload;
+    bool has_payload = false;
     net::MacAddr sender{};
   };
 
@@ -88,11 +120,14 @@ struct ShardedFleet::RelayOracle {
     bool failed = false;
   };
 
-  /// A delivery in flight: the legacy hub's FIFO stream entry.
+  /// A delivery in flight: the legacy hub's FIFO stream entry. Payload by
+  /// value, like Offer; deliver() places it into the slab.
   struct Due {
     std::int64_t arrival_ns = 0;
     sim::PushKey key;
     net::Frame frame;
+    proto::IcmpPayload payload;
+    bool has_payload = false;
     net::MacAddr sender{};
   };
 
@@ -105,17 +140,22 @@ struct ShardedFleet::RelayOracle {
     Offer* offer = nullptr;
   };
 
-  RelayOracle(const net::Backplane::Config& relay_config, std::uint32_t shards)
+  RelayOracle(const net::Backplane::Config& relay_config, std::uint32_t shards,
+              bool certified_lane)
       : config(relay_config),
+        certified(certified_lane),
         rng(relay_config.seed, net::kNetworkA),
         offers(shards),
-        attached(shards) {}
+        staged(shards),
+        attached(shards) {
+    ser_min_ns = serialization_time(net::kMinEthFrameBytes).ns();
+  }
 
-  util::Duration serialization_time(const net::Frame& frame) const {
+  util::Duration serialization_time(std::uint32_t wire_bytes) const {
     // Identical arithmetic to Backplane::serialization_time — same doubles,
     // same rounding.
-    const double bytes = static_cast<double>(frame.wire_bytes() +
-                                             config.per_frame_overhead_bytes);
+    const double bytes =
+        static_cast<double>(wire_bytes + config.per_frame_overhead_bytes);
     return util::Duration::from_seconds(bytes * 8.0 / config.bits_per_second);
   }
 
@@ -125,15 +165,37 @@ struct ShardedFleet::RelayOracle {
   }
 
   /// Boundary-hook path: runs on shard `shard`'s worker thread, touching only
-  /// that shard's journal/simulator and its private offer buffer.
+  /// that shard's journal/simulator and its private offer buffer. Allocation
+  /// free: the ICMP payload is copied by value and the frame's pointer
+  /// detached (the old per-offer deep copy was one make_shared per crossing
+  /// frame).
   void capture(std::uint32_t shard, sim::ShardedEngine& engine,
                const net::Nic& sender, const net::Frame& frame) {
-    sim::OrderingJournal& journal = engine.journal(shard);
-    assert(!journal.in_setup() &&
+    assert(!engine.journal(shard).in_setup() &&
            "the fleet emits no relay traffic during serialized setup");
-    offers[shard].push_back(Offer{engine.simulator(shard).now().ns(),
-                                  journal.make_child_meta(),
-                                  deep_copy_frame(frame), sender.mac()});
+    assert(engine.simulator(shard).in_boundary_scope() &&
+           "relay offers must come from boundary-tagged events (the adaptive "
+           "window bound counts only tagged causes; see docs/SHARDING.md)");
+    Offer offer;
+    offer.t_ns = engine.simulator(shard).now().ns();
+    // Gateway hosts are numbered 0xF000 + cluster; the cluster index is the
+    // counter-equal lane's replay key (legacy rank order is cluster-major at
+    // equal times, see on_merge).
+    offer.cluster = static_cast<std::uint16_t>(sender.owner() - 0xF000u);
+    offer.wire_bytes = frame.wire_bytes();
+    offer.frame = frame;
+    offer.sender = sender.mac();
+    if (const auto* icmp =
+            net::payload_cast<proto::IcmpPayload>(frame.packet.payload)) {
+      offer.payload = *icmp;
+      offer.has_payload = true;
+      offer.frame.packet.payload.reset();
+    } else {
+      assert(frame.packet.payload == nullptr &&
+             "only ICMP payloads cross the relay in the fleet topology");
+    }
+    if (certified) offer.meta = engine.journal(shard).make_child_meta();
+    offers[shard].push_back(std::move(offer));
   }
 
   void add_transition(std::int64_t t_ns, std::uint64_t setup_idx, bool fail) {
@@ -185,14 +247,45 @@ struct ShardedFleet::RelayOracle {
     return next;
   }
 
+  /// Earliest-output-time refinement for the adaptive window protocol
+  /// (sim::ShardedEngine::EotHook). No cross-shard delivery can land before
+  /// the returned time, so the engine may run every shard that far without a
+  /// barrier. The argument: any future delivery is a Due minted from some
+  /// offer at t >= cause, where `cause` = the earliest boundary-tagged or
+  /// foreign event anywhere (the engine's bound) min'd with the oracle's own
+  /// pending work (a queued Due executes as a tagged foreign event; a
+  /// transition can reset the serialization clock). Legacy then serializes it
+  /// no earlier than max(cause, busy') where busy' >= min(busy_until, next
+  /// transition time) — set_failed is the only writer that moves busy_until
+  /// backwards, to exactly the transition's time — and the arrival adds at
+  /// least one minimum frame time plus propagation on top.
+  std::int64_t eot_ns(std::int64_t engine_bound_ns) const {
+    const std::int64_t never = std::numeric_limits<std::int64_t>::max();
+    const std::int64_t cause = std::min(engine_bound_ns, next_pending_ns());
+    const std::int64_t margin = ser_min_ns + config.propagation_delay.ns();
+    if (cause >= never - margin) return never;
+    std::int64_t ser_start = busy_until.ns();
+    if (transition_cursor < transitions.size()) {
+      ser_start = std::min(ser_start, transitions[transition_cursor].t_ns);
+    }
+    if (ser_start < cause) ser_start = cause;
+    return ser_start + margin;
+  }
+
   /// Flush hook: release every Due arriving inside [start, end) whose
   /// survival is proven. Arrivals are FIFO-monotone and both stop conditions
-  /// are monotone in arrival, so head-first release is exhaustive.
+  /// are monotone in arrival, so head-first release is exhaustive. Deliveries
+  /// are staged per shard and handed off in one add_foreign_batch call each;
+  /// the payload slab recycles here because everything it held was consumed
+  /// inside the previous window.
   void flush(ShardedFleet& fleet, std::int64_t, std::int64_t end_ns) {
+    slab.recycle();
+    bool delivered = false;
     while (due_head < dues.size()) {
       Due& due = dues[due_head];
       if (due.arrival_ns >= end_ns || fail_blocks(due.arrival_ns)) break;
-      deliver(fleet, due);
+      deliver(due);
+      delivered = true;
       ++due_head;
     }
     if (due_head == dues.size()) {
@@ -203,6 +296,11 @@ struct ShardedFleet::RelayOracle {
                     dues.begin() + static_cast<std::ptrdiff_t>(due_head));
       due_head = 0;
     }
+    if (delivered) {
+      for (std::uint32_t s = 0; s < staged.size(); ++s) {
+        fleet.engine_.add_foreign_batch(s, staged[s]);
+      }
+    }
   }
 
   /// One legacy delivery-stream pop, re-expressed as per-shard foreign
@@ -210,41 +308,61 @@ struct ShardedFleet::RelayOracle {
   /// by the attach-order NIC walk, across shards by the merge's
   /// lowest-shard-wins tie-break (shards own ascending cluster ranges, which
   /// is exactly the legacy attach order).
-  void deliver(ShardedFleet& fleet, const Due& due) {
-    sim::ShardedEngine& engine = fleet.engine_;
-    const net::Frame& frame = due.frame;
+  void deliver(Due& due) {
+    net::Frame frame = std::move(due.frame);
+    if (due.has_payload) {
+      proto::IcmpPayload* payload = slab.alloc();
+      *payload = due.payload;
+      frame.packet.payload = slab_ptr(payload);
+    }
     if (frame.dst.is_broadcast() || mac_collision) {
       for (std::uint32_t s = 0; s < attached.size(); ++s) {
         if (attached[s].empty()) continue;
         const std::vector<net::Nic*>* nics = &attached[s];
-        engine.add_foreign(
-            s, sim::ShardedEngine::ForeignEvent{
-                   due.arrival_ns, due.key,
-                   [nics, frame, sender = due.sender] {
-                     for (net::Nic* nic : *nics) {
-                       if (nic->mac() != sender) nic->deliver(frame);
-                     }
-                   }});
+        staged[s].push_back(sim::ShardedEngine::ForeignEvent{
+            due.arrival_ns, due.key, [nics, frame, sender = due.sender] {
+              for (net::Nic* nic : *nics) {
+                if (nic->mac() != sender) nic->deliver(frame);
+              }
+            }});
       }
       return;
     }
     if (const auto* found = by_mac.find(frame.dst.value());
         found != nullptr && found->second->mac() != due.sender) {
       net::Nic* nic = found->second;
-      engine.add_foreign(found->first,
-                         sim::ShardedEngine::ForeignEvent{
-                             due.arrival_ns, due.key,
-                             [nic, frame] { nic->deliver(frame); }});
+      staged[found->first].push_back(sim::ShardedEngine::ForeignEvent{
+          due.arrival_ns, due.key, [nic, frame] { nic->deliver(frame); }});
     }
   }
 
   /// Merge hook: replay the window's offers and any transitions due before
   /// its end, in global (time, key) order — the exact chronological order the
   /// legacy run issued its transmit() calls and set_failed() events.
+  ///
+  /// Counter-equal lane: with no journal there are no lineage keys, so the
+  /// replay key is synthesized as (time, cluster + 1, per-shard capture
+  /// index). For the fleet this IS legacy chronological order: gateway
+  /// timers were created cluster-major during serialized setup, so at equal
+  /// times legacy rank order is cluster order; same-cluster offers at one
+  /// time keep their shard-local execution (= capture) order; and the +1
+  /// keeps every offer after the setup-band transition keys, which is where
+  /// legacy put injection events relative to same-time runtime traffic.
   void on_merge(ShardedFleet& fleet, std::int64_t end_ns) {
     sim::ShardedEngine& engine = fleet.engine_;
     scratch.clear();
     for (std::uint32_t s = 0; s < engine.shard_count(); ++s) {
+      if (!certified) {
+        std::uint64_t position = 0;
+        for (Offer& offer : offers[s]) {
+          scratch.push_back(Resolved{
+              offer.t_ns, sim::PushKey{std::uint64_t{offer.cluster} + 1u,
+                                       position},
+              0, sim::PushKey{}, &offer});
+          ++position;
+        }
+        continue;
+      }
       const sim::OrderingJournal& journal = engine.journal(s);
       for (Offer& offer : offers[s]) {
         assert(offer.meta.window_ref);
@@ -314,28 +432,37 @@ struct ShardedFleet::RelayOracle {
       ++counters.dropped_backlog;
       return;
     }
-    const util::Duration ser = serialization_time(ro.offer->frame);
+    const util::Duration ser = serialization_time(ro.offer->wire_bytes);
     busy_until = start + ser;
     busy_seconds += ser.to_seconds();
     ++counters.frames;
-    counters.bytes +=
-        ro.offer->frame.wire_bytes() + config.per_frame_overhead_bytes;
+    counters.bytes += ro.offer->wire_bytes + config.per_frame_overhead_bytes;
     if (config.frame_loss_rate > 0.0 &&
         rng.next_bernoulli(config.frame_loss_rate)) {
       ++counters.lost_random;
       return;
     }
+    // Counter-equal dues need only a deterministic inbox tie-break; arrivals
+    // are strictly increasing between failure epochs, so a monotone counter
+    // key can never change execution order.
+    const sim::PushKey key =
+        certified ? ro.due_key : sim::PushKey{sim::kGseqBase, ++ce_due_seq};
     const util::SimTime arrival = busy_until + config.propagation_delay;
-    dues.push_back(Due{arrival.ns(), ro.due_key,
-                          std::move(ro.offer->frame), ro.offer->sender});
+    dues.push_back(Due{arrival.ns(), key, std::move(ro.offer->frame),
+                       ro.offer->payload, ro.offer->has_payload,
+                       ro.offer->sender});
   }
 
   net::Backplane::Config config;
+  bool certified = true;
   util::Rng rng;
   bool failed = false;
   util::SimTime busy_until = util::SimTime::zero();
   double busy_seconds = 0.0;
   net::Backplane::Counters counters;
+  std::int64_t ser_min_ns = 0;     // one minimum Ethernet frame on the relay
+  std::uint64_t ce_due_seq = 0;    // counter-equal synthetic due keys
+  PayloadSlab slab;                // delivered payloads, recycled per window
 
   std::vector<Transition> transitions;  // sorted by prepare()
   std::size_t transition_cursor = 0;
@@ -348,6 +475,9 @@ struct ShardedFleet::RelayOracle {
 
   std::vector<std::vector<Offer>> offers;  // per shard, worker-written
   std::vector<Resolved> scratch;           // merge scratch, capacity reused
+  /// Per-shard delivery staging for flush(): filled by deliver(), handed to
+  /// the engine in one add_foreign_batch per shard (capacity reused).
+  std::vector<std::vector<sim::ShardedEngine::ForeignEvent>> staged;
 
   std::vector<std::vector<net::Nic*>> attached;  // per shard, attach order
   util::FlatMap<std::uint64_t, std::pair<std::uint32_t, net::Nic*>> by_mac;
@@ -367,6 +497,15 @@ sim::ShardedEngine::Options ShardedFleet::engine_options(
     throw std::invalid_argument(
         "ShardedFleet requires a kHub relay backplane with zero jitter");
   }
+  if (config.ordering == sim::Ordering::kCounterEqual &&
+      config.fleet.relay_backplane.frame_loss_rate > 0.0) {
+    // The loss RNG must be drawn in exact legacy transmit order; that order
+    // is certified by the journaled merge, which the counter-equal lane
+    // elides. Zero-loss relays (the paper's configuration) don't draw at all.
+    throw std::invalid_argument(
+        "counter-equal ordering requires a lossless relay "
+        "(frame_loss_rate == 0)");
+  }
   sim::ShardedEngine::Options options;
   std::uint32_t shards = config.shards == 0 ? 1u : config.shards;
   if (config.fleet.clusters > 0 && shards > config.fleet.clusters) {
@@ -378,6 +517,10 @@ sim::ShardedEngine::Options ShardedFleet::engine_options(
   options.lookahead_ns = config.fleet.relay_backplane.propagation_delay.ns();
   options.trace_capacity = config.trace_capacity;
   options.check_windows = config.check_windows;
+  options.ordering = config.ordering;
+  options.adaptive_windows = config.adaptive_windows;
+  options.max_window_ns = config.max_window_ns;
+  options.record_window_spans = config.record_window_spans;
   return options;
 }
 
@@ -396,7 +539,9 @@ ShardedFleet::ShardedFleet(ShardedFleetConfig config)
     }
   }
 
-  oracle_ = std::make_unique<RelayOracle>(config_.fleet.relay_backplane, shards);
+  oracle_ = std::make_unique<RelayOracle>(
+      config_.fleet.relay_backplane, shards,
+      config_.ordering == sim::Ordering::kCertified);
   engine_.set_merge_hook([this](std::int64_t, std::int64_t end_ns) {
     oracle_->on_merge(*this, end_ns);
   });
@@ -404,6 +549,8 @@ ShardedFleet::ShardedFleet(ShardedFleetConfig config)
     oracle_->flush(*this, start_ns, end_ns);
   });
   engine_.set_next_pending_hook([this] { return oracle_->next_pending_ns(); });
+  engine_.set_eot_hook(
+      [this](std::int64_t bound_ns) { return oracle_->eot_ns(bound_ns); });
 
   // Everything below runs on this thread in the exact order Fleet's
   // constructor builds the legacy topology, with each shard-touching step
@@ -520,7 +667,17 @@ void ShardedFleet::start() {
   }
   for (net::ClusterId c = 0; c < config_.fleet.clusters; ++c) {
     engine_.begin_setup_segment(shard_of_[c]);
-    if (!gateway_timers_[c]->running()) gateway_timers_[c]->start();
+    if (!gateway_timers_[c]->running()) {
+      // The probe timers are the fleet's only boundary seeds: every relay
+      // offer descends from a gateway tick (pings and their timeouts) or
+      // from a foreign delivery (echo replies), and both execute under the
+      // boundary scope — ticks by this tag propagating through step(),
+      // deliveries unconditionally. Everything else (DRS probes, cluster
+      // failures) is cluster-internal and stays untagged, which is what
+      // makes the adaptive window bound sharp.
+      sim::BoundaryScope scope(engine_.simulator(shard_of_[c]));
+      gateway_timers_[c]->start();
+    }
     engine_.end_setup_segment();
   }
   started_ = true;
@@ -695,10 +852,19 @@ void ShardedFleet::collect_metrics(obs::MetricRegistry& registry) const {
     shard_gauge("arena_chunks", static_cast<std::int64_t>(arena.chunks));
     shard_gauge("arena_bytes_reserved",
                 static_cast<std::int64_t>(arena.bytes_reserved));
+    shard_gauge("window_events",
+                static_cast<std::int64_t>(engine_.shard_window_events(s)));
+    // Wall-clock, not sim-time: how long this shard's worker sat parked at
+    // the release barrier. Zero until the first genuinely concurrent window
+    // (the single-active fast path runs inline on the coordinator).
+    shard_gauge("barrier_wait_ns",
+                static_cast<std::int64_t>(engine_.shard_barrier_wait_ns(s)));
   }
   registry.gauge("shard.count").set(engine_.shard_count());
   registry.gauge("shard.windows")
       .set(static_cast<std::int64_t>(engine_.windows_run()));
+  registry.gauge("engine.windows_coalesced")
+      .set(static_cast<std::int64_t>(engine_.windows_coalesced()));
   registry.gauge("sim.event_slots").set(event_slots);
   registry.gauge("sim.pending_events").set(pending_events);
   registry.counter("sim.scheduled_events").add(scheduled);

@@ -47,10 +47,27 @@ struct ShardedFleetConfig {
   FleetConfig fleet;
   /// Worker threads; clamped to [1, fleet.clusters].
   std::uint32_t shards = 4;
-  /// Per-shard tracer ring capacity.
+  /// Per-shard tracer ring capacity; 0 skips tracer attachment (the fair
+  /// configuration for benchmarking against an untraced legacy Fleet).
   std::size_t trace_capacity = obs::Tracer::kDefaultCapacity;
   /// Property-test hook, see sim::ShardedEngine::Options.
   bool check_windows = false;
+  /// Output contract (sim::Ordering): kCertified reproduces legacy traces
+  /// byte for byte; kCounterEqual elides the journal and merge, promising
+  /// only event counts, metric totals and invariant outcomes. The fleet's
+  /// counter-equal lane refuses lossy relays (frame_loss_rate > 0) because
+  /// the loss RNG draw order is only certified under the journaled merge.
+  sim::Ordering ordering = sim::Ordering::kCertified;
+  /// Adaptive earliest-output-time windows (sim::ShardedEngine::Options);
+  /// the fleet refines the engine bound with the relay oracle's state.
+  bool adaptive_windows = true;
+  /// Cap on adaptive window length, 0 = unlimited. The gateway probe cadence
+  /// (default 100 ms) bounds windows naturally; set this when shrinking
+  /// trace_capacity below a cadence's worth of events.
+  std::int64_t max_window_ns = 0;
+  /// Record per-window occupancy spans (engine().window_spans()) for the
+  /// Chrome-trace export.
+  bool record_window_spans = false;
 };
 
 /// The fleet topology sharded across worker threads. Byte-identical traces
@@ -122,9 +139,10 @@ class ShardedFleet {
 
   /// Same semantic keys as Fleet::collect_metrics (cluster.*, gateway.*,
   /// relay.*, fleet.*), with sim.*/arena.* aggregated across shards and
-  /// additional shard.<i>.* diagnostics. The differential corpus compares
-  /// everything except the sim./arena./shard. prefixes, whose values are
-  /// per-queue implementation detail.
+  /// additional shard.<i>.* / engine.* diagnostics (window_events,
+  /// barrier_wait_ns, windows_coalesced). The differential corpus compares
+  /// everything except the sim./arena./shard./engine. prefixes, whose values
+  /// are per-queue or wall-clock implementation detail.
   void collect_metrics(obs::MetricRegistry& registry) const;
 
  private:

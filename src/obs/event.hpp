@@ -86,4 +86,16 @@ struct TraceEvent {
   std::int64_t b = 0;
 };
 
+/// One sharded-engine synchronization window, for profile visualization:
+/// [start_ns, end_ns) in sim time, how many shards had work, how many events
+/// executed. Produced by sim::ShardedEngine when window-span recording is on;
+/// to_chrome_trace_json renders these as complete ("X") events on a dedicated
+/// engine track so window occupancy is visible alongside protocol traffic.
+struct WindowSpan {
+  std::int64_t start_ns = 0;
+  std::int64_t end_ns = 0;
+  std::uint32_t active_shards = 0;
+  std::uint64_t events = 0;
+};
+
 }  // namespace drs::obs

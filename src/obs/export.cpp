@@ -41,10 +41,34 @@ std::string to_canonical_json(const std::vector<TraceEvent>& events) {
 }
 
 std::string to_chrome_trace_json(const std::vector<TraceEvent>& events) {
+  return to_chrome_trace_json(events, {});
+}
+
+std::string to_chrome_trace_json(const std::vector<TraceEvent>& events,
+                                 const std::vector<WindowSpan>& windows) {
   util::JsonWriter json;
   json.begin_object();
   json.field("displayTimeUnit", "ms");
   json.key("traceEvents").begin_array();
+  for (const WindowSpan& window : windows) {
+    // Complete events on one synthetic "engine" track; a zero-length dur is
+    // legal trace_event and still renders as a slice boundary.
+    json.begin_object()
+        .field("name", "window")
+        .field("ph", "X")
+        .field("ts", window.start_ns / 1000)
+        .field("dur", (window.end_ns - window.start_ns) / 1000)
+        .field("pid", std::int64_t{-1})
+        .field("tid", std::int64_t{-1});
+    json.key("args")
+        .begin_object()
+        .field("start_ns", window.start_ns)
+        .field("end_ns", window.end_ns)
+        .field("active_shards", static_cast<std::int64_t>(window.active_shards))
+        .field("events", static_cast<std::int64_t>(window.events))
+        .end_object();
+    json.end_object();
+  }
   for (const TraceEvent& event : events) {
     const std::int64_t pid =
         event.node == kNoNode ? 0 : static_cast<std::int64_t>(event.node);

@@ -25,6 +25,15 @@ std::string to_canonical_json(const std::vector<TraceEvent>& events);
 /// timestamps in integer microseconds, full ns precision in args.t_ns).
 std::string to_chrome_trace_json(const std::vector<TraceEvent>& events);
 
+/// Chrome trace_event format with sharded-engine window spans interleaved:
+/// each WindowSpan renders as a complete ("X") event named "window" on a
+/// dedicated engine track (pid/tid -1), with active shard count and executed
+/// events in args, so window occupancy is visible alongside the protocol
+/// traffic. Spans come from sim::ShardedEngine::window_spans()
+/// (Options::record_window_spans).
+std::string to_chrome_trace_json(const std::vector<TraceEvent>& events,
+                                 const std::vector<WindowSpan>& windows);
+
 /// Events whose kind is in `kinds`, original order preserved. Golden traces
 /// use this to pin the control-plane story without megabytes of ping_sent.
 std::vector<TraceEvent> filter_kinds(const std::vector<TraceEvent>& events,

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cassert>
+#include <limits>
 
 #include "obs/macros.hpp"
 #include "sim/sharded.hpp"
@@ -176,8 +177,10 @@ EventId EventQueue::push_ranked(util::SimTime t, EventCallback fn,
   Slot& s = slots_[slot];
   s.time_ns = t.ns();
   s.seq = rank;
+  s.boundary = boundary_scope_;
   s.fn = std::move(fn);
   place(slot, s.time_ns, s.seq);
+  if (boundary_scope_) heap_push(boundary_, Ready{s.time_ns, s.seq, slot});
   ++live_;
   if (live_ >= high_water_next_) {
     // Stamped with the pushed event's scheduled time: the queue has no
@@ -254,6 +257,23 @@ bool EventQueue::peek(std::int64_t& t_ns, std::uint32_t& slot) const {
   }
 }
 
+std::int64_t EventQueue::next_boundary_ns() const {
+  // Entries go stale when their event executes, is cancelled, or the slot is
+  // recycled; ranks are globally unique, so a (slot, seq) match against a
+  // live slot identifies the original event. Same const_cast contract as
+  // next_time(): dropping stale entries changes nothing observable.
+  auto* self = const_cast<EventQueue*>(this);
+  while (!self->boundary_.empty()) {
+    const Ready& top = self->boundary_.front();
+    const Slot& s = self->slots_[top.slot];
+    if ((s.gen & 1u) != 0 && s.seq == top.seq && s.boundary) {
+      return top.time_ns;
+    }
+    self->heap_pop(self->boundary_);
+  }
+  return std::numeric_limits<std::int64_t>::max();
+}
+
 EventQueue::Popped EventQueue::pop() {
   assert(live_ > 0);
   for (;;) {
@@ -265,7 +285,7 @@ EventQueue::Popped EventQueue::pop() {
       continue;
     }
     Popped out{util::SimTime::from_ns(top.time_ns),
-               make_id(top.slot, s.gen), std::move(s.fn)};
+               make_id(top.slot, s.gen), std::move(s.fn), s.boundary};
     s.gen += 1;  // odd -> even: executed
     release_slot(top.slot);
     --live_;

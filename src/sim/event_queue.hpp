@@ -85,6 +85,7 @@ class EventQueue {
     util::SimTime time;
     EventId id = kInvalidEventId;
     EventCallback fn;
+    bool boundary = false;  // pushed under a boundary scope (see below)
   };
   /// Removes and returns the earliest live event. Precondition: !empty().
   Popped pop();
@@ -123,6 +124,23 @@ class EventQueue {
   /// order across shards — see sim/sharded.hpp. Non-owning.
   void set_journal(OrderingJournal* journal) { journal_ = journal; }
 
+  /// Boundary tagging for the sharded engine's adaptive lookahead. While the
+  /// scope flag is set (Simulator raises it during setup segments that build
+  /// boundary-reaching machinery, while executing a boundary-tagged event,
+  /// and while executing a foreign delivery), every push is tagged and
+  /// entered into a side min-heap, so next_boundary_ns() can answer "when is
+  /// the earliest event that could emit cross-shard traffic?" without
+  /// scanning the wheel. Tags propagate transitively: a tagged parent's
+  /// children are tagged. Legacy single-queue runs never raise the scope and
+  /// pay one predictable branch per push.
+  void set_boundary_scope(bool on) { boundary_scope_ = on; }
+  bool boundary_scope() const { return boundary_scope_; }
+
+  /// Earliest live boundary-tagged event's time, or INT64_MAX when none.
+  /// Lazily drops stale heap entries (executed/cancelled/recycled slots),
+  /// same const contract as next_time().
+  std::int64_t next_boundary_ns() const;
+
  private:
   static constexpr int kLevels = 6;
   static constexpr int kBucketBits = 6;  // 64 buckets per level
@@ -139,6 +157,7 @@ class EventQueue {
     std::uint64_t seq = 0;       // push order; breaks same-time ties FIFO
     std::uint32_t gen = 0;       // odd = live, even = dead; bumps on each flip
     std::uint32_t next_free = kNoSlot;
+    bool boundary = false;       // pushed under the boundary scope
     EventCallback fn;
   };
 
@@ -166,6 +185,7 @@ class EventQueue {
 
   std::vector<Ready> ready_;       // min-heap over (time, seq); all < horizon_
   std::vector<Ready> overflow_;    // min-heap; beyond the wheel's coverage
+  std::vector<Ready> boundary_;    // min-heap over live boundary-tagged events
   std::vector<std::uint32_t> buckets_[kLevels][kBuckets];
   std::uint64_t occupied_[kLevels] = {};  // bit b set iff buckets_[l][b] nonempty
   std::int64_t horizon_ = 0;  // wheel/overflow entries are all >= horizon_
@@ -173,6 +193,7 @@ class EventQueue {
 
   std::size_t live_ = 0;
   std::uint64_t total_scheduled_ = 0;
+  bool boundary_scope_ = false;
   obs::Tracer* tracer_ = nullptr;
   OrderingJournal* journal_ = nullptr;
   std::size_t high_water_next_ = 16;  // next power-of-two threshold to report

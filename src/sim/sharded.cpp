@@ -125,10 +125,17 @@ ShardedEngine::ShardedEngine(Options options) : options_(options) {
   if (options_.lookahead_ns < 1) options_.lookahead_ns = 1;
   shards_.reserve(options_.shards);
   for (std::uint32_t s = 0; s < options_.shards; ++s) {
-    auto shard = std::make_unique<Shard>(options_.trace_capacity);
-    shard->journal.set_tracer(&shard->tracer);
-    shard->sim.set_tracer(&shard->tracer);
-    shard->sim.set_journal(&shard->journal);
+    auto shard = std::make_unique<Shard>(traced() ? options_.trace_capacity : 0);
+    if (traced()) {
+      shard->journal.set_tracer(&shard->tracer);
+      shard->sim.set_tracer(&shard->tracer);
+    }
+    // The counter-equal lane elides the journal entirely: no lineage
+    // recording on push/claim, no per-event log, no window merge. Ordering
+    // of same-time cross-shard traffic is then the caller's contract (the
+    // fleet oracle replays offers in (time, cluster, capture) order, which
+    // provably matches legacy rank order for the gateway mesh).
+    if (certified()) shard->sim.set_journal(&shard->journal);
     shards_.push_back(std::move(shard));
   }
 }
@@ -184,6 +191,20 @@ void ShardedEngine::add_foreign(std::uint32_t shard, ForeignEvent event) {
   ++sh.inbox_added;
 }
 
+void ShardedEngine::add_foreign_batch(std::uint32_t shard,
+                                      std::vector<ForeignEvent>& staged) {
+  if (staged.empty()) return;
+  Shard& sh = *shards_[shard];
+  for (ForeignEvent& event : staged) {
+    const std::int64_t margin = event.at_ns - foreign_floor_ns_;
+    if (margin < min_foreign_margin_ns_) min_foreign_margin_ns_ = margin;
+    // drs-lint: hotpath-purity-ok(amortized: inbox grows to its high-water once; the consumed prefix is compacted by sort_inboxes)
+    sh.inbox.push_back(std::move(event));
+  }
+  sh.inbox_added += staged.size();
+  staged.clear();  // capacity retained for the oracle's next window
+}
+
 void ShardedEngine::sort_inboxes() {
   for (auto& sp : shards_) {
     Shard& sh = *sp;
@@ -220,21 +241,48 @@ std::int64_t ShardedEngine::next_pending_ns(const Shard& shard) const {
   return next;
 }
 
+std::int64_t ShardedEngine::next_boundary_bound_ns() const {
+  // Earliest sim-time any shard could next execute an event able to emit
+  // cross-shard traffic: the earliest boundary-tagged queue event, or the
+  // earliest undelivered inbox entry (foreign deliveries execute under the
+  // boundary scope, so anything they trigger counts too). Oracle-held state
+  // (pending deliveries, the serialization clock) is folded in by the EOT
+  // hook, which receives this bound.
+  std::int64_t bound = std::numeric_limits<std::int64_t>::max();
+  for (const auto& shard : shards_) {
+    bound = std::min(bound, shard->sim.next_boundary_ns());
+    if (shard->inbox_cursor < shard->inbox.size()) {
+      bound = std::min(bound, shard->inbox[shard->inbox_cursor].at_ns);
+    }
+  }
+  return bound;
+}
+
 void ShardedEngine::execute_window(Shard& shard, std::int64_t start_ns,
                                    std::int64_t end_ns) {
+  const bool journaled = certified();
+  const std::uint64_t executed_before = shard.sim.executed_events();
   for (;;) {
     std::int64_t local_t = 0;
     std::uint32_t local_slot = 0;
     const bool has_local = shard.sim.peek_next(local_t, local_slot);
-    const ForeignEvent* foreign =
-        shard.inbox_cursor < shard.inbox.size()
-            ? &shard.inbox[shard.inbox_cursor]
-            : nullptr;
+    ForeignEvent* foreign = shard.inbox_cursor < shard.inbox.size()
+                                ? &shard.inbox[shard.inbox_cursor]
+                                : nullptr;
     bool take_foreign = false;
     if (foreign != nullptr && foreign->at_ns < end_ns) {
       if (!has_local || local_t >= end_ns || foreign->at_ns < local_t) {
         take_foreign = true;
-      } else if (foreign->at_ns == local_t) {
+      } else if (foreign->at_ns != local_t) {
+        // local first
+      } else if (!journaled) {
+        // Counter-equal lane: a delivery's legacy rank was claimed at its
+        // transmit instant, before any same-time local push this window
+        // could produce — and the fleet's hub arrivals never collide with
+        // pre-scheduled local events (serialization offsets are never
+        // multiples of the probe cadence).
+        take_foreign = true;
+      } else {
         const OrderingJournal::Meta& meta =
             shard.journal.meta_for_slot(local_slot);
         if (meta.window_ref) {
@@ -251,10 +299,15 @@ void ShardedEngine::execute_window(Shard& shard, std::int64_t start_ns,
       if (options_.check_windows && foreign->at_ns < start_ns) {
         ++shard.violations;
       }
-      shard.journal.begin_foreign(foreign->at_ns, foreign->key);
-      shard.sim.execute_foreign(util::SimTime::from_ns(foreign->at_ns),
-                                foreign->fn);
-      shard.journal.end_event();
+      if (journaled) {
+        shard.journal.begin_foreign(foreign->at_ns, foreign->key);
+        shard.sim.execute_foreign(util::SimTime::from_ns(foreign->at_ns),
+                                  foreign->fn);
+        shard.journal.end_event();
+      } else {
+        shard.sim.execute_foreign(util::SimTime::from_ns(foreign->at_ns),
+                                  foreign->fn);
+      }
       ++shard.inbox_cursor;
       continue;
     }
@@ -263,11 +316,23 @@ void ShardedEngine::execute_window(Shard& shard, std::int64_t start_ns,
       shard.sim.step();
       continue;
     }
+    shard.window_events_count += shard.sim.executed_events() - executed_before;
     return;
   }
 }
 
 void ShardedEngine::merge_window(std::int64_t start_ns, std::int64_t end_ns) {
+  // Counter-equal lane: no journal, no logs, no gseqs — the merge *is* the
+  // shared-medium replay. The hook orders same-time offers by its own
+  // contract (see Ordering::kCounterEqual).
+  if (!certified()) {
+    if (merge_hook_) {
+      foreign_floor_ns_ = end_ns;
+      merge_hook_(start_ns, end_ns);
+    }
+    return;
+  }
+
   // 1. K-way merge of the per-shard execution logs under (time, key, shard),
   //    assigning dense global sequence numbers. A window-local parent ref is
   //    always resolvable when its child reaches a stream head: the parent is
@@ -302,8 +367,9 @@ void ShardedEngine::merge_window(std::int64_t start_ns, std::int64_t end_ns) {
   // 2. Interleave the shards' trace emissions in gseq order: each log entry
   //    owns the [trace_begin, trace_end) span it emitted, and the spans tile
   //    the window's drained range exactly (everything emitted during a window
-  //    happens inside some executing event).
-  for (std::uint32_t s = 0; s < n; ++s) {
+  //    happens inside some executing event). Untraced runs
+  //    (trace_capacity == 0) skip the staging entirely.
+  for (std::uint32_t s = 0; traced() && s < n; ++s) {
     Shard& sh = *shards_[s];
     sh.window_trace_base = sh.journal.trace_drained;
     const std::uint64_t total = sh.tracer.emitted();
@@ -320,15 +386,17 @@ void ShardedEngine::merge_window(std::int64_t start_ns, std::int64_t end_ns) {
     sh.journal.trace_drained = total;
     sh.tracer.clear();
   }
-  for (const auto& [s, entry_index] : merge_order_) {
-    Shard& sh = *shards_[s];
-    const OrderingJournal::LogEntry& e = sh.journal.log()[entry_index];
-    assert(e.trace_begin >= sh.window_trace_base &&
-           e.trace_end - sh.window_trace_base <= sh.window_events.size());
-    for (std::uint64_t i = e.trace_begin; i < e.trace_end; ++i) {
-      // drs-lint: hotpath-purity-ok(output: the merged canonical trace is the engine's deliverable, the sharded analogue of the Tracer ring)
-      merged_.push_back(
-          sh.window_events[static_cast<std::size_t>(i - sh.window_trace_base)]);
+  if (traced()) {
+    for (const auto& [s, entry_index] : merge_order_) {
+      Shard& sh = *shards_[s];
+      const OrderingJournal::LogEntry& e = sh.journal.log()[entry_index];
+      assert(e.trace_begin >= sh.window_trace_base &&
+             e.trace_end - sh.window_trace_base <= sh.window_events.size());
+      for (std::uint64_t i = e.trace_begin; i < e.trace_end; ++i) {
+        // drs-lint: hotpath-purity-ok(output: the merged canonical trace is the engine's deliverable, the sharded analogue of the Tracer ring)
+        merged_.push_back(sh.window_events[static_cast<std::size_t>(
+            i - sh.window_trace_base)]);
+      }
     }
   }
 
@@ -355,19 +423,42 @@ void ShardedEngine::run_until(util::SimTime deadline) {
     if (next > deadline_ns) break;
 
     const std::int64_t w_start = next;
-    // The final window is deadline-inclusive (end = deadline + 1), matching
-    // Simulator::run_until's `<= deadline` contract.
-    const std::int64_t w_end =
-        (deadline_ns - w_start >= options_.lookahead_ns)
-            ? w_start + options_.lookahead_ns
-            : deadline_ns + 1;
+    // The fixed conservative window: the final one is deadline-inclusive
+    // (end = deadline + 1), matching Simulator::run_until's `<= deadline`.
+    std::int64_t w_end = (deadline_ns - w_start >= options_.lookahead_ns)
+                             ? w_start + options_.lookahead_ns
+                             : deadline_ns + 1;
+    if (options_.adaptive_windows) {
+      // Adaptive earliest-output-time window: no cross-shard delivery can
+      // occur before `eot`, so the window may safely extend to it. The
+      // boundary bound covers every in-shard cause; the hook refines it with
+      // shared-medium state (pending deliveries, serialization clock,
+      // minimum frame time). Without a hook, only the generic guarantee
+      // holds: a delivery lags its cause by at least the lookahead.
+      const std::int64_t max_ns = std::numeric_limits<std::int64_t>::max();
+      const std::int64_t bound = next_boundary_bound_ns();
+      std::int64_t eot;
+      if (eot_hook_) {
+        eot = eot_hook_(bound);
+      } else {
+        eot = bound == max_ns ? max_ns : bound + options_.lookahead_ns;
+      }
+      if (eot > w_end) {
+        w_end = std::min(eot, deadline_ns == max_ns ? max_ns : deadline_ns + 1);
+        if (options_.max_window_ns > 0 &&
+            w_end - w_start > options_.max_window_ns) {
+          w_end = w_start + options_.max_window_ns;
+        }
+        if (w_end > w_start + options_.lookahead_ns) ++windows_coalesced_;
+      }
+    }
 
     foreign_floor_ns_ = w_start;
     if (flush_hook_) flush_hook_(w_start, w_end);
     sort_inboxes();
 
-    // Single-active fast path: the conservative lookahead fragments bursts
-    // (hub serialization spaces deliveries wider than one window), so most
+    // Single-active fast path: fixed-lookahead runs fragment bursts (hub
+    // serialization spaces deliveries wider than one window), so many
     // windows touch exactly one shard. Executing that shard inline skips the
     // whole wakeup round-trip; execution and merge results are identical
     // either way, so this is invisible to the determinism contract. Workers
@@ -380,27 +471,40 @@ void ShardedEngine::run_until(util::SimTime deadline) {
         only = shard.get();
       }
     }
+    const std::uint64_t executed_before =
+        options_.record_window_spans ? events_executed() : 0;
     if (active <= 1) {
       if (only != nullptr) execute_window(*only, w_start, w_end);
     } else {
       start_workers();
-      {
-        std::lock_guard<std::mutex> lock(mutex_);
-        window_start_ns_ = w_start;
-        window_end_ns_ = w_end;
-        workers_arrived_ = 0;
-        ++window_generation_;
+      // Release barrier: publish window params, reset the arrival counter,
+      // then bump the generation (the release edge workers acquire).
+      window_start_ns_ = w_start;
+      window_end_ns_ = w_end;
+      workers_arrived_.store(0, std::memory_order_relaxed);
+      window_generation_.fetch_add(1, std::memory_order_release);
+      window_generation_.notify_all();
+      // Arrival barrier: spin briefly (windows are short at fleet scale),
+      // then park on the futex. The last worker's fetch_add is the release
+      // edge that hands all shard state back to the coordinator.
+      const std::uint32_t n_shards = shard_count();
+      for (int spin = 0; spin < 4096; ++spin) {
+        if (workers_arrived_.load(std::memory_order_acquire) == n_shards) break;
       }
-      cv_workers_.notify_all();
-      {
-        std::unique_lock<std::mutex> lock(mutex_);
-        cv_coordinator_.wait(lock,
-                             [&] { return workers_arrived_ == shard_count(); });
+      std::uint32_t arrived;
+      while ((arrived = workers_arrived_.load(std::memory_order_acquire)) !=
+             n_shards) {
+        workers_arrived_.wait(arrived, std::memory_order_acquire);
       }
     }
 
     merge_window(w_start, w_end);
     ++windows_run_;
+    if (options_.record_window_spans) {
+      // drs-lint: hotpath-purity-ok(output: one span per window, the deliverable of Options::record_window_spans)
+      spans_.push_back(obs::WindowSpan{w_start, w_end, active,
+                                       events_executed() - executed_before});
+    }
   }
   for (auto& shard : shards_) shard->sim.advance_clock(deadline);
 }
@@ -420,27 +524,34 @@ std::uint64_t ShardedEngine::window_violations() const {
 void ShardedEngine::worker_loop(std::uint32_t shard) {
   std::uint64_t seen_generation = 0;
   for (;;) {
-    std::int64_t start_ns = 0;
-    std::int64_t end_ns = 0;
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_workers_.wait(lock, [&] {
-        return stopping_ || window_generation_ != seen_generation;
-      });
-      if (stopping_) return;
-      seen_generation = window_generation_;
-      start_ns = window_start_ns_;
-      end_ns = window_end_ns_;
+    // Sense-reversing wait: the generation value is the sense. A bounded
+    // spin covers the common back-to-back-window case without a syscall;
+    // the futex fallback parks the thread across long merges and between
+    // run_until calls. The acquire load pairs with the coordinator's
+    // release bump and publishes window params + inbox state.
+    const std::int64_t wait_begin = util::wall_clock_ns();
+    std::uint64_t generation = seen_generation;
+    for (int spin = 0; spin < 4096; ++spin) {
+      generation = window_generation_.load(std::memory_order_acquire);
+      if (generation != seen_generation) break;
     }
-    // All shard state this touches is handed back and forth through mutex_:
-    // the coordinator last released it before bumping the generation, and
-    // reads it only after observing workers_arrived_ == shard_count().
-    execute_window(*shards_[shard], start_ns, end_ns);
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      ++workers_arrived_;
+    while (generation == seen_generation) {
+      window_generation_.wait(seen_generation, std::memory_order_acquire);
+      generation = window_generation_.load(std::memory_order_acquire);
     }
-    cv_coordinator_.notify_one();
+    if (stopping_.load(std::memory_order_acquire)) return;
+    seen_generation = generation;
+    Shard& sh = *shards_[shard];
+    sh.barrier_wait_ns +=
+        static_cast<std::uint64_t>(util::wall_clock_ns() - wait_begin);
+    // All shard state this touches is handed back and forth through the two
+    // barrier edges: the coordinator last released it at the generation
+    // bump, and reads it only after acquiring arrived == shard_count().
+    execute_window(sh, window_start_ns_, window_end_ns_);
+    if (workers_arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        shard_count()) {
+      workers_arrived_.notify_one();
+    }
   }
 }
 
@@ -454,14 +565,12 @@ void ShardedEngine::start_workers() {
 
 void ShardedEngine::stop_workers() {
   if (workers_.empty()) return;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    stopping_ = true;
-  }
-  cv_workers_.notify_all();
+  stopping_.store(true, std::memory_order_release);
+  window_generation_.fetch_add(1, std::memory_order_release);
+  window_generation_.notify_all();
   for (std::thread& worker : workers_) worker.join();
   workers_.clear();
-  stopping_ = false;
+  stopping_.store(false, std::memory_order_relaxed);
 }
 
 }  // namespace drs::sim

@@ -36,13 +36,12 @@
 // oracle (cluster/partition.*) decides what those callbacks do.
 #pragma once
 
-#include <condition_variable>
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <limits>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <vector>
@@ -200,31 +199,64 @@ class OrderingJournal {
   std::uint64_t cur_child_idx_ = 0;
 };
 
+/// What the engine promises about a run's observable output.
+enum class Ordering {
+  /// Byte-identical traces and metric snapshots vs. the legacy single queue
+  /// (the OrderingJournal + window-merge machinery; the default).
+  kCertified,
+  /// Contract-equal fast lane: elides the journal, the k-way merge and all
+  /// trace bookkeeping. Guarantees only what the benches assert — event
+  /// counts, metric totals and invariant outcomes equal to legacy. No merged
+  /// trace is produced. For ceiling measurements and Monte-Carlo campaigns
+  /// that never read traces.
+  kCounterEqual,
+};
+
 /// S shards in conservative lockstep. See the file comment.
 class ShardedEngine {
  public:
   struct Options {
     std::uint32_t shards = 1;
-    /// Window length bound = minimum cross-shard latency, in ns. For the
+    /// Window length floor = minimum cross-shard latency, in ns. For the
     /// fleet this is the relay backplane's propagation delay.
     std::int64_t lookahead_ns = 5000;
+    /// 0 skips tracer attachment entirely (no per-shard rings, no merged
+    /// trace) — the fair configuration for benchmarking against an untraced
+    /// legacy run.
     std::size_t trace_capacity = obs::Tracer::kDefaultCapacity;
     /// Property-test hook: record window-containment violations and the
     /// minimum cross-shard arrival margin instead of trusting the proof.
     bool check_windows = false;
+    /// Output contract (see Ordering).
+    Ordering ordering = Ordering::kCertified;
+    /// Adaptive earliest-output-time windows: widen each window to the
+    /// announced bound on the next possible cross-shard hand-off (boundary-
+    /// tagged events + inbox heads, refined by the EOT hook) instead of the
+    /// fixed lookahead. Requires the boundary-tagging contract: every event
+    /// that can emit cross-shard traffic executes under the boundary scope
+    /// (see Simulator::set_boundary_scope and docs/SHARDING.md).
+    bool adaptive_windows = true;
+    /// Upper bound on adaptive window length (safety lever for small trace
+    /// rings); 0 = unlimited.
+    std::int64_t max_window_ns = 0;
+    /// Record per-window occupancy spans for the Chrome-trace export.
+    bool record_window_spans = false;
   };
 
   /// A cross-shard event: executes at `at_ns` on the destination shard,
   /// ordered against local events by `key` (fully resolved — the sending
   /// parent executed in an earlier window).
-  // std::function, not EventCallback: cross-shard closures carry a
-  // deep-copied Frame (larger than the inline buffer) and run once per
-  // window merge, never on the hot pop path.
+  // Inline storage sized for the fleet's hub deliveries (a Frame with its
+  // payload pooled out-of-line, a destination NIC and the sender MAC): the
+  // per-delivery heap allocation the std::function closure used to pay is
+  // gone. Oversized captures fail to compile instead of silently allocating.
+  using ForeignFn = util::InlineFunction<void(), 96>;
   struct ForeignEvent {
     std::int64_t at_ns = 0;
     PushKey key;
-    std::function<void()> fn;
+    ForeignFn fn;
   };
+
 
   explicit ShardedEngine(Options options);
   ~ShardedEngine();
@@ -273,6 +305,12 @@ class ShardedEngine {
   /// check_windows records the margin.
   void add_foreign(std::uint32_t shard, ForeignEvent event);
 
+  /// Batched hand-off: moves every staged event into the shard's inbox in one
+  /// call (margins are scored per event, as add_foreign would). The staging
+  /// vector is cleared but keeps its capacity, so an oracle can reuse it
+  /// window after window without allocating.
+  void add_foreign_batch(std::uint32_t shard, std::vector<ForeignEvent>& staged);
+
   /// Runs on the coordinator at every window barrier, after gseqs are
   /// assigned and traces merged, before window state is cleared: resolve
   /// boundary offers (journal(s).resolve), replay shared-medium state, and
@@ -297,6 +335,19 @@ class ShardedEngine {
                                        std::int64_t window_end_ns)>;
   void set_flush_hook(FlushHook hook) { flush_hook_ = std::move(hook); }
 
+  /// Adaptive-window refinement (Options::adaptive_windows). The engine
+  /// computes `bound_ns` = the earliest sim-time any shard could next execute
+  /// a boundary-tagged or foreign event; the hook returns the earliest
+  /// sim-time a cross-shard *delivery* could occur, folding in shared-medium
+  /// state (pending deliveries, the serialization clock, minimum frame time,
+  /// propagation). Without a hook the engine assumes only that deliveries lag
+  /// their cause by the lookahead: bound + lookahead_ns. Returned values are
+  /// clamped to at least window_start + lookahead_ns, so a hook can never
+  /// narrow a window below the fixed-lookahead floor. INT64_MAX = no
+  /// cross-shard traffic possible until new causes appear.
+  using EotHook = std::function<std::int64_t(std::int64_t bound_ns)>;
+  void set_eot_hook(EotHook hook) { eot_hook_ = std::move(hook); }
+
   // -- run -------------------------------------------------------------------
   /// Executes every event with time <= deadline across all shards (windowed,
   /// one worker thread per shard), then advances every shard clock to the
@@ -317,6 +368,21 @@ class ShardedEngine {
   /// demands >= 0: no foreign event may land in sim-time a shard has already
   /// executed past. int64 max until the first foreign event.
   std::int64_t min_foreign_margin_ns() const { return min_foreign_margin_ns_; }
+  /// Windows whose adaptive end exceeded the fixed-lookahead end — the
+  /// windows the EOT protocol merged away relative to the fixed protocol.
+  std::uint64_t windows_coalesced() const { return windows_coalesced_; }
+  /// Events executed inside sync windows on `shard` (setup excluded).
+  std::uint64_t shard_window_events(std::uint32_t shard) const {
+    return shards_[shard]->window_events_count;
+  }
+  /// Wall-clock ns `shard`'s worker spent parked at the release barrier
+  /// (0 until the concurrent path first runs; the inline single-active path
+  /// never waits).
+  std::uint64_t shard_barrier_wait_ns(std::uint32_t shard) const {
+    return shards_[shard]->barrier_wait_ns;
+  }
+  /// Recorded window spans (empty unless Options::record_window_spans).
+  const std::vector<obs::WindowSpan>& window_spans() const { return spans_; }
 
  private:
   struct Shard {
@@ -329,11 +395,17 @@ class ShardedEngine {
     std::vector<obs::TraceEvent> window_events;  // drain scratch
     std::uint64_t window_trace_base = 0;         // drained offset at merge
     std::uint64_t violations = 0;  // check_windows: out-of-window executions
+    std::uint64_t window_events_count = 0;  // events executed inside windows
+    // Written by this shard's worker between the release and arrival
+    // barriers (coordinator-owned while workers are parked, like all shard
+    // state); read by metric collection after run_until returns.
+    std::uint64_t barrier_wait_ns = 0;
 
     explicit Shard(std::size_t trace_capacity) : tracer(trace_capacity) {}
   };
 
   std::int64_t next_pending_ns(const Shard& shard) const;
+  std::int64_t next_boundary_bound_ns() const;
   void execute_window(Shard& shard, std::int64_t start_ns, std::int64_t end_ns);
   void merge_window(std::int64_t start_ns, std::int64_t end_ns);
   void drain_setup_segment(std::uint32_t shard);
@@ -341,12 +413,18 @@ class ShardedEngine {
   void worker_loop(std::uint32_t shard);
   void start_workers();
   void stop_workers();
+  bool traced() const {
+    return options_.ordering == Ordering::kCertified &&
+           options_.trace_capacity > 0;
+  }
+  bool certified() const { return options_.ordering == Ordering::kCertified; }
 
   Options options_;
   std::vector<std::unique_ptr<Shard>> shards_;
   MergeHook merge_hook_;
   NextPendingHook next_pending_hook_;
   FlushHook flush_hook_;
+  EotHook eot_hook_;
 
   // Setup state (single-threaded phase).
   bool in_setup_ = false;
@@ -359,6 +437,8 @@ class ShardedEngine {
   std::vector<std::pair<std::uint32_t, std::size_t>> merge_order_;  // scratch
   std::vector<std::size_t> merge_pos_;                              // scratch
   std::uint64_t windows_run_ = 0;
+  std::uint64_t windows_coalesced_ = 0;
+  std::vector<obs::WindowSpan> spans_;
   std::int64_t min_foreign_margin_ns_ =
       std::numeric_limits<std::int64_t>::max();
   /// Earliest sim-time a foreign event enqueued right now may legally carry:
@@ -366,18 +446,20 @@ class ShardedEngine {
   /// end during the merge phase. add_foreign scores margins against it.
   std::int64_t foreign_floor_ns_ = 0;
 
-  // Worker pool: created on the first run_until, parked between windows.
-  // All shard state is handed back and forth through the barrier mutex, so
-  // the coordinator owns everything while workers are parked (TSan-clean).
+  // Worker pool: created on the first run_until, parked between windows at a
+  // sense-reversing barrier. The release side is the window generation (the
+  // generation value IS the sense); the arrival side is a fetch_add counter.
+  // Workers spin a bounded number of iterations before falling back to
+  // std::atomic::wait (futex on Linux). All shard state is handed back and
+  // forth through the two release/acquire edges: the coordinator's
+  // generation bump publishes window params + inboxes to workers, and the
+  // last worker's arrival increment publishes shard state back (TSan-clean).
   std::vector<std::thread> workers_;
-  std::mutex mutex_;
-  std::condition_variable cv_workers_;
-  std::condition_variable cv_coordinator_;
-  std::uint64_t window_generation_ = 0;
-  std::uint32_t workers_arrived_ = 0;
-  std::int64_t window_start_ns_ = 0;
+  alignas(64) std::atomic<std::uint64_t> window_generation_{0};
+  alignas(64) std::atomic<std::uint32_t> workers_arrived_{0};
+  std::atomic<bool> stopping_{false};
+  std::int64_t window_start_ns_ = 0;  // published by the generation bump
   std::int64_t window_end_ns_ = 0;
-  bool stopping_ = false;
 };
 
 }  // namespace drs::sim

@@ -62,6 +62,9 @@ bool Simulator::step() {
   auto ev = queue_.pop();
   assert(ev.time >= now_);
   now_ = ev.time;
+  // Transitive boundary propagation: a tagged event's children are tagged.
+  // Untagged events clear the scope, so a stray raised flag cannot leak.
+  queue_.set_boundary_scope(ev.boundary);
   if (journal_ != nullptr) {
     // The slot was released by pop() but its journal meta survives until the
     // slot's next push, which cannot happen before ev.fn() runs below.
@@ -72,6 +75,7 @@ bool Simulator::step() {
   } else {
     ev.fn();
   }
+  queue_.set_boundary_scope(false);
   ++executed_;
   return true;
 }

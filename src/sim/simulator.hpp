@@ -151,13 +151,29 @@ class Simulator {
     return queue_.peek(t_ns, slot);
   }
 
+  /// Boundary scope for the adaptive-lookahead protocol: while raised, every
+  /// scheduled event is tagged as potentially boundary-reaching (able to hand
+  /// traffic to the cross-shard relay), and the queue indexes it for
+  /// next_boundary_ns(). step() re-raises the scope while executing a tagged
+  /// event and execute_foreign() raises it unconditionally, so the tag
+  /// propagates transitively from the setup-time seeds (gateway machinery,
+  /// failure injections) through every descendant. See docs/SHARDING.md.
+  void set_boundary_scope(bool on) { queue_.set_boundary_scope(on); }
+  bool in_boundary_scope() const { return queue_.boundary_scope(); }
+  /// Earliest pending boundary-tagged event, INT64_MAX when none.
+  std::int64_t next_boundary_ns() const { return queue_.next_boundary_ns(); }
+
   /// Runs a cross-shard event at `t` as if it had been popped from the local
   /// queue: clock advance + executed_events() accounting. The caller (the
-  /// engine) orders these against local events and journals them.
+  /// engine) orders these against local events and journals them. Foreign
+  /// deliveries execute under the boundary scope: anything they schedule
+  /// (e.g. an echo reply's timeout) may reach the relay again.
   template <typename Fn>
   void execute_foreign(util::SimTime t, Fn&& fn) {
     now_ = t;
+    queue_.set_boundary_scope(true);
     fn();
+    queue_.set_boundary_scope(false);
     ++executed_;
   }
 
@@ -175,6 +191,24 @@ class Simulator {
   OrderingJournal* journal_ = nullptr;
   util::Arena owned_arena_;
   util::Arena* arena_ = &owned_arena_;
+};
+
+/// RAII boundary scope: raised for the duration of a setup segment that
+/// constructs boundary-reaching machinery (gateway hosts, probe timers,
+/// failure injections), so their initial events are tagged.
+class BoundaryScope {
+ public:
+  explicit BoundaryScope(Simulator& sim)
+      : sim_(sim), prev_(sim.in_boundary_scope()) {
+    sim_.set_boundary_scope(true);
+  }
+  ~BoundaryScope() { sim_.set_boundary_scope(prev_); }
+  BoundaryScope(const BoundaryScope&) = delete;
+  BoundaryScope& operator=(const BoundaryScope&) = delete;
+
+ private:
+  Simulator& sim_;
+  bool prev_;
 };
 
 }  // namespace drs::sim

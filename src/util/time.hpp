@@ -7,6 +7,7 @@
 // point - point = span, point + span = point, span +/- span = span.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <compare>
 #include <limits>
@@ -92,5 +93,16 @@ constexpr Duration operator""_s(unsigned long long n) {
 /// Human-readable rendering with an adaptive unit, e.g. "1.500 ms".
 std::string to_string(Duration d);
 std::string to_string(SimTime t);
+
+/// Monotonic wall-clock nanoseconds, for self-timing instrumentation (e.g.
+/// the sharded engine's barrier-wait gauges). This is the sanctioned wall
+/// clock: drs-lint bans direct std::chrono clock access outside util/time,
+/// util/rng and exp/cli so wall time can never leak into simulation results —
+/// callers may only feed these readings into metrics, never into event times.
+inline std::int64_t wall_clock_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 }  // namespace drs::util

@@ -59,7 +59,7 @@ std::vector<obs::TraceEvent> protocol_events(
 // (names are keys in sorted flat maps, values plain integers, so each entry
 // ends at the next ',' or '}').
 std::string strip_metric_prefixes(std::string json) {
-  for (const char* prefix : {"\"sim.", "\"arena.", "\"shard."}) {
+  for (const char* prefix : {"\"sim.", "\"arena.", "\"shard.", "\"engine."}) {
     std::size_t pos;
     while ((pos = json.find(prefix)) != std::string::npos) {
       const std::size_t colon = json.find(':', pos);
@@ -158,6 +158,10 @@ Observed run_sharded(const Scenario& scenario, std::uint32_t shards) {
   }
   fleet.run_until(util::SimTime::zero() + scenario.run);
   EXPECT_EQ(fleet.engine().window_violations(), 0u) << scenario.name;
+  // EOT conservativeness across the whole corpus: adaptive windows are on by
+  // default, and no cross-shard arrival may land in sim-time its destination
+  // shard could already have executed past.
+  EXPECT_GE(fleet.engine().min_foreign_margin_ns(), 0) << scenario.name;
   Observed observed;
   observed.trace_json =
       obs::to_canonical_json(protocol_events(fleet.merged_trace()));

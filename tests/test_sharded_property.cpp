@@ -82,6 +82,10 @@ TEST(ShardedProperty, NoEventExecutesOutsideItsWindow) {
   options.shards = 4;
   options.lookahead_ns = 5000;
   options.check_windows = true;
+  // Fixed-lookahead windows on purpose: these chains are untagged (no
+  // boundary events at all), so adaptive windows would legally collapse the
+  // whole run into one window and containment would be tested vacuously.
+  options.adaptive_windows = false;
   sim::ShardedEngine engine(options);
   engine.begin_setup();
 
